@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared plumbing for the per-experiment bench binaries.
+ *
+ * Every binary under bench/ regenerates one table or figure from
+ * DESIGN.md's per-experiment index: google-benchmark times the
+ * underlying computation, then main() prints the reproduced artifact
+ * so EXPERIMENTS.md can quote it verbatim.
+ */
+
+#ifndef GPUSCALE_BENCH_BENCH_COMMON_HH
+#define GPUSCALE_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "gpu/analytic_model.hh"
+#include "harness/experiment.hh"
+
+namespace gpuscale {
+namespace bench {
+
+/** The full paper census, computed once per binary. */
+inline const harness::CensusResult &
+census()
+{
+    static const harness::CensusResult result =
+        harness::runCensus(gpu::AnalyticModel{});
+    return result;
+}
+
+/** Banner separating the timed section from the reproduced artifact. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("\n==================================================="
+                "=====================\n");
+    std::printf("%s: %s\n", id.c_str(), title.c_str());
+    std::printf("====================================================="
+                "===================\n");
+}
+
+/**
+ * Standard main: run benchmarks, then emit the artifact.
+ *
+ * @param emit callback printing the reproduced table/figure.
+ */
+inline int
+benchMain(int argc, char **argv, void (*emit)())
+{
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    emit();
+    return 0;
+}
+
+} // namespace bench
+} // namespace gpuscale
+
+#define GPUSCALE_BENCH_MAIN(emit_fn)                                   \
+    int                                                                \
+    main(int argc, char **argv)                                        \
+    {                                                                  \
+        return ::gpuscale::bench::benchMain(argc, argv, emit_fn);      \
+    }
+
+#endif // GPUSCALE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * F4 — the taxonomy distribution histogram over all 267 kernels.
+ */
+
+#include "bench_common.hh"
+
+#include "base/plot.hh"
+#include "scaling/report.hh"
+
+namespace {
+
+using namespace gpuscale;
+
+void
+BM_Histogram(benchmark::State &state)
+{
+    const auto &c = bench::census();
+    for (auto _ : state) {
+        auto hist = scaling::classHistogram(c.classifications);
+        benchmark::DoNotOptimize(hist.data());
+    }
+}
+BENCHMARK(BM_Histogram);
+
+void
+emit()
+{
+    const auto &c = bench::census();
+    const auto hist = scaling::classHistogram(c.classifications);
+
+    bench::banner("F4", "taxonomy distribution over 267 kernels");
+
+    BarChart chart("kernels per taxonomy class");
+    chart.setBarWidth(46);
+    for (const auto cls : scaling::allTaxonomyClasses()) {
+        chart.addBar(scaling::taxonomyClassName(cls),
+                     static_cast<double>(
+                         hist[static_cast<size_t>(cls)]));
+    }
+    std::printf("%s\n", chart.render().c_str());
+    std::fputs(
+        scaling::classHistogramTable(c.classifications).render()
+            .c_str(),
+        stdout);
+}
+
+} // namespace
+
+GPUSCALE_BENCH_MAIN(emit)

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * T2 — benchmark inventory: 97 programs / 267 kernels per suite.
+ *
+ * Reproduces the population table the abstract quotes.  The benchmark
+ * times registry construction and full-zoo validation.
+ */
+
+#include "bench_common.hh"
+
+#include "base/table.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace gpuscale;
+
+void
+BM_RegistryIteration(benchmark::State &state)
+{
+    const auto &reg = workloads::WorkloadRegistry::instance();
+    for (auto _ : state) {
+        size_t waves = 0;
+        for (const auto *k : reg.allKernels())
+            waves += static_cast<size_t>(k->num_workgroups);
+        benchmark::DoNotOptimize(waves);
+    }
+}
+BENCHMARK(BM_RegistryIteration);
+
+void
+BM_ValidateAllKernels(benchmark::State &state)
+{
+    const auto &reg = workloads::WorkloadRegistry::instance();
+    for (auto _ : state) {
+        for (const auto *k : reg.allKernels())
+            k->validate();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            267);
+}
+BENCHMARK(BM_ValidateAllKernels);
+
+void
+emit()
+{
+    const auto &reg = workloads::WorkloadRegistry::instance();
+    bench::banner("T2", "benchmark suites and kernel census");
+
+    TextTable t;
+    t.addColumn("suite");
+    t.addColumn("programs", TextTable::Align::Right);
+    t.addColumn("kernels", TextTable::Align::Right);
+    for (const auto &row : reg.census()) {
+        t.row({row.suite, strprintf("%zu", row.programs),
+               strprintf("%zu", row.kernels)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\npaper abstract: 267 kernels from 97 programs.\n");
+}
+
+} // namespace
+
+GPUSCALE_BENCH_MAIN(emit)

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * T4 — the non-obvious scalers: kernels that lose performance when
+ * compute units are added, or that plateau as frequency and bandwidth
+ * increase (the abstract's highlighted findings).
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "scaling/report.hh"
+
+namespace {
+
+using namespace gpuscale;
+
+void
+BM_NonObviousScan(benchmark::State &state)
+{
+    const auto &c = bench::census();
+    for (auto _ : state) {
+        size_t n = 0;
+        for (const auto &k : c.classifications) {
+            if (k.cls == scaling::TaxonomyClass::CuAdverse ||
+                k.cls == scaling::TaxonomyClass::LatencyBound)
+                ++n;
+        }
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_NonObviousScan);
+
+void
+emit()
+{
+    const auto &c = bench::census();
+    bench::banner("T4", "non-obvious scalers");
+
+    // Worst CU-adverse kernels, sorted by end-to-peak loss.
+    std::vector<const scaling::KernelClassification *> adverse;
+    for (const auto &k : c.classifications) {
+        if (k.cls == scaling::TaxonomyClass::CuAdverse)
+            adverse.push_back(&k);
+    }
+    std::sort(adverse.begin(), adverse.end(),
+              [](const auto *a, const auto *b) {
+                  return a->cu.total_gain < b->cu.total_gain;
+              });
+
+    std::printf("kernels losing performance as CUs are added "
+                "(%zu total):\n\n", adverse.size());
+    TextTable t;
+    t.addColumn("kernel");
+    t.addColumn("perf @44CU vs @4CU", TextTable::Align::Right);
+    t.addColumn("freq gain", TextTable::Align::Right);
+    t.addColumn("mem gain", TextTable::Align::Right);
+    for (const auto *k : adverse) {
+        t.row({k->kernel, strprintf("%.2fx", k->cu.total_gain),
+               strprintf("%.2fx", k->freq.total_gain),
+               strprintf("%.2fx", k->mem.total_gain)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    std::printf("\nfull non-obvious population (adverse, plateau, "
+                "starved, launch-bound):\n\n");
+    std::fputs(scaling::nonObviousTable(c.classifications, 40)
+                   .render().c_str(),
+               stdout);
+}
+
+} // namespace
+
+GPUSCALE_BENCH_MAIN(emit)

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * T5 — suite scalability: do the benchmark suites scale to modern
+ * GPU sizes?  Reproduces the abstract's claim that "a number of
+ * current benchmark suites do not scale to modern GPU sizes,
+ * implying that either new benchmarks or new inputs are warranted."
+ */
+
+#include "bench_common.hh"
+
+#include "scaling/report.hh"
+#include "scaling/suite_analysis.hh"
+
+namespace {
+
+using namespace gpuscale;
+
+void
+BM_SuiteAnalysis(benchmark::State &state)
+{
+    const auto &c = bench::census();
+    for (auto _ : state) {
+        auto reports = scaling::analyzeSuites(c.classifications, 44);
+        benchmark::DoNotOptimize(reports.size());
+    }
+}
+BENCHMARK(BM_SuiteAnalysis);
+
+void
+emit()
+{
+    const auto &c = bench::census();
+    const auto reports = scaling::analyzeSuites(c.classifications, 44);
+
+    bench::banner("T5", "per-suite scalability to a 44-CU GPU");
+
+    TextTable t;
+    t.addColumn("suite");
+    t.addColumn("kernels", TextTable::Align::Right);
+    t.addColumn("median cu90", TextTable::Align::Right);
+    t.addColumn("p90 cu90", TextTable::Align::Right);
+    t.addColumn("saturate <44CU", TextTable::Align::Right);
+    t.addColumn("non-scaling classes", TextTable::Align::Right);
+    for (const auto &r : reports) {
+        t.row({r.suite, strprintf("%zu", r.kernels),
+               strprintf("%.0f", r.median_cu90),
+               strprintf("%.0f", r.p90_cu90),
+               strprintf("%.0f%%", 100.0 * r.frac_saturating),
+               strprintf("%.0f%%", 100.0 * r.frac_non_scaling)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    std::printf(
+        "\ncu90 = CUs needed to reach 90%% of a kernel's best CU-curve\n"
+        "performance.  A suite whose median cu90 sits far below 44\n"
+        "is not exercising a modern GPU; 'non-scaling classes' counts\n"
+        "parallelism-starved + launch-bound + cu-adverse kernels.\n");
+}
+
+} // namespace
+
+GPUSCALE_BENCH_MAIN(emit)

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Predict a kernel's full 891-point scaling surface from six probe
+ * measurements, using templates learned from the zoo census — the
+ * workflow a practitioner uses to avoid a week of sweeps per kernel.
+ *
+ *   $ ./predict_from_probes
+ */
+
+#include <cstdio>
+
+#include "base/math_util.hh"
+#include "gpu/analytic_model.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "scaling/predictor.hh"
+#include "workloads/archetypes.hh"
+
+int
+main()
+{
+    using namespace gpuscale;
+
+    // 1. Train per-class templates on the zoo census (one-off cost).
+    const gpu::AnalyticModel model;
+    const auto census = harness::runCensus(model);
+    const scaling::ScalingPredictor predictor(census.surfaces,
+                                              census.classifications);
+    std::printf("trained %zu class templates from %zu kernels\n\n",
+                predictor.numTemplates(), census.surfaces.size());
+
+    // 2. A new application kernel the census has never seen.
+    auto kernel = workloads::stencil(
+        "myapp/solver/jacobi", {.wgs = 3500, .wi_per_wg = 256,
+                                .launches = 200, .intensity = 1.1},
+        28.0);
+    kernel.l2_reuse = 0.5;
+
+    // 3. "Measure" it at the six probe configurations only.
+    const auto probes =
+        scaling::ScalingPredictor::defaultProbes(census.space);
+    std::vector<double> measured;
+    std::printf("probe measurements:\n");
+    for (const size_t idx : probes) {
+        const auto cfg = census.space.at(idx);
+        const double t = model.estimate(kernel, cfg).time_s;
+        measured.push_back(t);
+        std::printf("  %-18s %10.1f us\n", cfg.id().c_str(), t * 1e6);
+    }
+
+    // 4. Predict the other 885 points and identify the class.
+    const auto predicted = predictor.predict(probes, measured);
+    std::printf("\nidentified class: %s\n",
+                scaling::taxonomyClassName(
+                    predictor.matchClass(probes, measured))
+                    .c_str());
+
+    // 5. Score against the (normally unknown) ground truth.
+    const auto truth =
+        harness::sweepKernel(model, kernel, census.space);
+    const auto err =
+        scaling::evaluatePrediction(predicted, truth.runtimes());
+    std::printf(
+        "prediction error over all 891 configurations:\n"
+        "  mean   %5.1f%%\n  median %5.1f%%\n  p90    %5.1f%%\n",
+        100.0 * err.mape, 100.0 * err.median_ape, 100.0 * err.p90_ape);
+
+    std::printf("\nspot check (predicted vs actual):\n");
+    for (const size_t flat : {40ul, 300ul, 600ul, 880ul}) {
+        std::printf("  %-18s %9.1f us vs %9.1f us\n",
+                    census.space.at(flat).id().c_str(),
+                    predicted[flat] * 1e6,
+                    truth.runtimes()[flat] * 1e6);
+    }
+    return 0;
+}

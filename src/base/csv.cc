@@ -1,0 +1,158 @@
+/**
+ * @file
+ * CSV implementation.
+ */
+
+#include "csv.hh"
+
+#include "logging.hh"
+#include "string_util.hh"
+
+namespace gpuscale {
+
+CsvWriter::CsvWriter(std::ostream &os)
+    : os_(os)
+{
+}
+
+CsvWriter &
+CsvWriter::cell(std::string_view value)
+{
+    current_.emplace_back(csvEscape(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(double value)
+{
+    current_.emplace_back(strprintf("%.17g", value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(int64_t value)
+{
+    current_.emplace_back(
+        strprintf("%lld", static_cast<long long>(value)));
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    os_ << join(current_, ",") << '\n';
+    current_.clear();
+    ++rows_written_;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (const auto &c : cells)
+        cell(c);
+    endRow();
+}
+
+size_t
+CsvDocument::columnIndex(std::string_view name) const
+{
+    for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return i;
+    }
+    fatal("CSV column '%.*s' not found",
+          static_cast<int>(name.size()), name.data());
+}
+
+std::string
+csvEscape(std::string_view value)
+{
+    const bool needs_quotes =
+        value.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quotes)
+        return std::string(value);
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvDocument
+parseCsv(std::string_view text)
+{
+    CsvDocument doc;
+    std::vector<std::string> record;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+
+    auto end_field = [&]() {
+        record.push_back(field);
+        field.clear();
+        field_started = false;
+    };
+    auto end_record = [&]() {
+        end_field();
+        // Skip records that are entirely empty (trailing newline).
+        if (record.size() == 1 && record[0].empty()) {
+            record.clear();
+            return;
+        }
+        if (doc.header.empty())
+            doc.header = record;
+        else
+            doc.rows.push_back(record);
+        record.clear();
+    };
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            // Leading quote opens a quoted field; a quote in the middle
+            // of an unquoted field is taken literally.
+            if (!field_started && field.empty())
+                in_quotes = true;
+            else
+                field += c;
+            field_started = true;
+            break;
+          case ',':
+            end_field();
+            break;
+          case '\r':
+            // Swallow; the following \n (if any) ends the record.
+            break;
+          case '\n':
+            end_record();
+            break;
+          default:
+            field += c;
+            field_started = true;
+            break;
+        }
+    }
+    fatal_if(in_quotes, "CSV parse error: unterminated quoted field");
+    if (field_started || !field.empty() || !record.empty())
+        end_record();
+    return doc;
+}
+
+} // namespace gpuscale

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal CSV reading/writing used for sweep caching and report
+ * emission.  Fields containing commas, quotes, or newlines are quoted
+ * per RFC 4180.
+ */
+
+#ifndef GPUSCALE_BASE_CSV_HH
+#define GPUSCALE_BASE_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuscale {
+
+/**
+ * Streaming CSV writer.
+ *
+ * Rows are buffered cell-by-cell and flushed with endRow().  The
+ * writer does not own the output stream.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os);
+
+    /** Append one string cell to the current row. */
+    CsvWriter &cell(std::string_view value);
+
+    /** Append one numeric cell (full double precision). */
+    CsvWriter &cell(double value);
+
+    /** Append one integer cell. */
+    CsvWriter &cell(int64_t value);
+
+    /** Write the buffered row and start a new one. */
+    void endRow();
+
+    /** Convenience: write an entire row of strings. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Number of complete rows written so far. */
+    size_t rowsWritten() const { return rows_written_; }
+
+  private:
+    std::ostream &os_;
+    std::vector<std::string> current_;
+    size_t rows_written_ = 0;
+};
+
+/** A fully parsed CSV document. */
+struct CsvDocument {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Column index for a header name; fatal() if absent. */
+    size_t columnIndex(std::string_view name) const;
+};
+
+/**
+ * Parse CSV text.  The first record becomes the header.  Handles
+ * quoted fields, embedded commas/quotes/newlines, and both \n and
+ * \r\n terminators.  Malformed input (unterminated quote) is a
+ * fatal() user error.
+ */
+CsvDocument parseCsv(std::string_view text);
+
+/** Escape one cell per RFC 4180 (adds quotes only when needed). */
+std::string csvEscape(std::string_view value);
+
+} // namespace gpuscale
+
+#endif // GPUSCALE_BASE_CSV_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Implementation of the logging/error primitives.
+ */
+
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace gpuscale {
+
+namespace {
+
+LogSink g_sink = nullptr;
+bool g_throw_on_terminate = false;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+vstrprintf(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vstrprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+setLogSink(LogSink sink)
+{
+    g_sink = sink;
+}
+
+void
+setLogThrowOnTerminate(bool enable)
+{
+    g_throw_on_terminate = enable;
+}
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &message)
+{
+    if (g_sink) {
+        g_sink(level, message);
+        return;
+    }
+    if (level == LogLevel::Inform) {
+        std::fprintf(stdout, "%s: %s\n", levelTag(level), message.c_str());
+    } else {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", levelTag(level),
+                     message.c_str(), file, line);
+    }
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    logMessage(LogLevel::Panic, file, line, msg);
+    if (g_throw_on_terminate)
+        throw std::runtime_error("panic: " + msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    logMessage(LogLevel::Fatal, file, line, msg);
+    if (g_throw_on_terminate)
+        throw std::runtime_error("fatal: " + msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    logMessage(LogLevel::Warn, file, line, msg);
+}
+
+void
+informImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    logMessage(LogLevel::Inform, file, line, msg);
+}
+
+} // namespace gpuscale

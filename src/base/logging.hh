@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Error-reporting and status-message primitives.
+ *
+ * Follows the gem5 discipline:
+ *  - panic():  an internal invariant was violated — a gpuscale bug.
+ *              Aborts so a debugger/core dump can inspect the state.
+ *  - fatal():  the *user* asked for something impossible (bad
+ *              configuration, invalid kernel descriptor).  Exits with a
+ *              nonzero status but does not abort.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - inform(): plain status output.
+ */
+
+#ifndef GPUSCALE_BASE_LOGGING_HH
+#define GPUSCALE_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace gpuscale {
+
+/** Severity levels understood by the logging backend. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Render a printf-style format string into a std::string.
+ *
+ * @param fmt printf-style format string.
+ * @return the formatted message.
+ */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** printf-style formatting convenience wrapper around vstrprintf(). */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Emit a log message at the given level.
+ *
+ * Fatal exits the process with status 1; Panic aborts.  Both are marked
+ * by the [[noreturn]] wrappers below — this function itself returns for
+ * the non-terminating levels.
+ */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &message);
+
+/** Internal invariant violated: report and abort. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Unrecoverable user error: report and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Suspicious condition: report and continue. */
+void warnImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Plain status message. */
+void informImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Install a message sink for tests (captures instead of writing to
+ * stderr).  Passing nullptr restores the default sink.  The sink
+ * receives the already-formatted single-line message and its level.
+ * Terminating levels still terminate unless test hooks are enabled.
+ */
+using LogSink = void (*)(LogLevel, const std::string &);
+void setLogSink(LogSink sink);
+
+/**
+ * Test hook: when enabled, panic/fatal throw std::runtime_error instead
+ * of terminating, so death paths can be unit tested without forking.
+ */
+void setLogThrowOnTerminate(bool enable);
+
+} // namespace gpuscale
+
+#define panic(...) \
+    ::gpuscale::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::gpuscale::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) \
+    ::gpuscale::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define inform(...) \
+    ::gpuscale::informImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            panic(__VA_ARGS__);                                        \
+    } while (0)
+
+/** fatal() if the condition holds. */
+#define fatal_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            fatal(__VA_ARGS__);                                        \
+    } while (0)
+
+#endif // GPUSCALE_BASE_LOGGING_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * ASCII figure rendering implementation.
+ */
+
+#include "plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "logging.hh"
+#include "string_util.hh"
+
+namespace gpuscale {
+
+namespace {
+
+/** Marker characters assigned to series in declaration order. */
+const char kMarkers[] = "*o+x#@%&";
+
+/** Intensity ramp for heatmaps, from low to high. */
+const char kRamp[] = " .:-=+*#%@";
+
+} // namespace
+
+LineChart::LineChart(std::string title, std::string x_label,
+                     std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)),
+      y_label_(std::move(y_label))
+{
+}
+
+void
+LineChart::addSeries(Series series)
+{
+    panic_if(series.x.size() != series.y.size(),
+             "series '%s': %zu x vs %zu y samples",
+             series.name.c_str(), series.x.size(), series.y.size());
+    panic_if(series.x.empty(), "series '%s' is empty",
+             series.name.c_str());
+    series_.push_back(std::move(series));
+}
+
+void
+LineChart::setSize(size_t width, size_t height)
+{
+    panic_if(width < 8 || height < 4, "chart size %zux%zu too small",
+             width, height);
+    width_ = width;
+    height_ = height;
+}
+
+std::string
+LineChart::render() const
+{
+    panic_if(series_.empty(), "rendering a chart with no series");
+
+    double xmin = std::numeric_limits<double>::infinity();
+    double xmax = -xmin;
+    double ymin = y_from_zero_ ? 0.0
+                               : std::numeric_limits<double>::infinity();
+    double ymax = -std::numeric_limits<double>::infinity();
+    for (const auto &s : series_) {
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            xmin = std::min(xmin, s.x[i]);
+            xmax = std::max(xmax, s.x[i]);
+            ymin = std::min(ymin, s.y[i]);
+            ymax = std::max(ymax, s.y[i]);
+        }
+    }
+    if (xmax - xmin < 1e-12)
+        xmax = xmin + 1.0;
+    if (ymax - ymin < 1e-12)
+        ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (size_t si = 0; si < series_.size(); ++si) {
+        const auto &s = series_[si];
+        const char mark = kMarkers[si % (sizeof(kMarkers) - 1)];
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            const double fx = (s.x[i] - xmin) / (xmax - xmin);
+            const double fy = (s.y[i] - ymin) / (ymax - ymin);
+            auto cx = static_cast<size_t>(
+                std::lround(fx * static_cast<double>(width_ - 1)));
+            auto cy = static_cast<size_t>(
+                std::lround(fy * static_cast<double>(height_ - 1)));
+            cx = std::min(cx, width_ - 1);
+            cy = std::min(cy, height_ - 1);
+            grid[height_ - 1 - cy][cx] = mark;
+        }
+    }
+
+    const size_t label_width = 10;
+    std::string out;
+    out += title_ + "\n";
+    out += "  y: " + y_label_ + "\n";
+    for (size_t r = 0; r < height_; ++r) {
+        std::string label;
+        if (r == 0) {
+            label = formatDouble(ymax, 2);
+        } else if (r == height_ - 1) {
+            label = formatDouble(ymin, 2);
+        }
+        out += padLeft(label, label_width) + " |" + grid[r] + "\n";
+    }
+    out += std::string(label_width + 1, ' ') + '+' +
+           std::string(width_, '-') + "\n";
+    out += padLeft(formatDouble(xmin, 2), label_width + 2) +
+           padLeft(formatDouble(xmax, 2) + "  x: " + x_label_,
+                   width_ - 1) + "\n";
+    out += "  legend:";
+    for (size_t si = 0; si < series_.size(); ++si) {
+        out += strprintf("  %c=%s",
+                         kMarkers[si % (sizeof(kMarkers) - 1)],
+                         series_[si].name.c_str());
+    }
+    out += "\n";
+    return out;
+}
+
+BarChart::BarChart(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+BarChart::addBar(std::string label, double value)
+{
+    panic_if(value < 0, "bar '%s' has negative value %g",
+             label.c_str(), value);
+    bars_.push_back({std::move(label), value});
+}
+
+std::string
+BarChart::render() const
+{
+    panic_if(bars_.empty(), "rendering a bar chart with no bars");
+
+    size_t label_width = 0;
+    double max_value = 0.0;
+    for (const auto &b : bars_) {
+        label_width = std::max(label_width, b.label.size());
+        max_value = std::max(max_value, b.value);
+    }
+    if (max_value <= 0)
+        max_value = 1.0;
+
+    std::string out = title_ + "\n";
+    for (const auto &b : bars_) {
+        const auto len = static_cast<size_t>(
+            std::lround(b.value / max_value *
+                        static_cast<double>(bar_width_)));
+        out += "  " + padRight(b.label, label_width) + " |" +
+               std::string(len, '#') +
+               strprintf(" %.6g\n", b.value);
+    }
+    return out;
+}
+
+Heatmap::Heatmap(std::string title,
+                 std::vector<std::string> row_labels,
+                 std::vector<std::string> col_labels,
+                 std::vector<double> values)
+    : title_(std::move(title)), row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)), values_(std::move(values))
+{
+    panic_if(values_.size() != row_labels_.size() * col_labels_.size(),
+             "heatmap: %zu values for %zu x %zu grid", values_.size(),
+             row_labels_.size(), col_labels_.size());
+    panic_if(values_.empty(), "heatmap: empty grid");
+}
+
+std::string
+Heatmap::render() const
+{
+    const auto [mn_it, mx_it] =
+        std::minmax_element(values_.begin(), values_.end());
+    const double mn = *mn_it;
+    const double mx = *mx_it;
+    const double range = mx - mn < 1e-300 ? 1.0 : mx - mn;
+    const size_t ramp_levels = sizeof(kRamp) - 2;
+
+    size_t label_width = 0;
+    for (const auto &l : row_labels_)
+        label_width = std::max(label_width, l.size());
+
+    size_t cell_width = 3;
+    for (const auto &c : col_labels_)
+        cell_width = std::max(cell_width, c.size() + 1);
+
+    std::string out = title_ + "\n";
+    out += std::string(label_width + 3, ' ');
+    for (const auto &c : col_labels_)
+        out += padLeft(c, cell_width);
+    out += "\n";
+
+    for (size_t r = 0; r < row_labels_.size(); ++r) {
+        out += "  " + padLeft(row_labels_[r], label_width) + " ";
+        for (size_t c = 0; c < col_labels_.size(); ++c) {
+            const double v = values_[r * col_labels_.size() + c];
+            const auto level = static_cast<size_t>(
+                std::lround((v - mn) / range *
+                            static_cast<double>(ramp_levels)));
+            out += padLeft(std::string(
+                               2, kRamp[std::min(level, ramp_levels)]),
+                           cell_width);
+        }
+        out += "\n";
+    }
+    out += strprintf("  scale: '%c' = %.4g .. '%c' = %.4g\n",
+                     kRamp[0], mn, kRamp[ramp_levels], mx);
+    return out;
+}
+
+} // namespace gpuscale

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ASCII figure rendering: line charts, horizontal bar charts, and
+ * heatmaps.  These back the reproduced paper figures so results can be
+ * inspected in a terminal and recorded verbatim in EXPERIMENTS.md.
+ */
+
+#ifndef GPUSCALE_BASE_PLOT_HH
+#define GPUSCALE_BASE_PLOT_HH
+
+#include <string>
+#include <vector>
+
+namespace gpuscale {
+
+/** One line-chart series: a name plus (x, y) samples. */
+struct Series {
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/**
+ * Multi-series ASCII line chart.
+ *
+ * Each series is drawn with a distinct marker character; a legend maps
+ * markers to series names.  Axes are linear and auto-scaled to the data
+ * (optionally anchored at y = 0).
+ */
+class LineChart
+{
+  public:
+    LineChart(std::string title, std::string x_label, std::string y_label);
+
+    /** Add a series; x and y must be the same non-zero length. */
+    void addSeries(Series series);
+
+    /** Force the y axis to start at zero (default: true). */
+    void setYFromZero(bool v) { y_from_zero_ = v; }
+
+    /** Plot area size in character cells. */
+    void setSize(size_t width, size_t height);
+
+    /** Render the chart (title, grid, axes, legend). */
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::string x_label_;
+    std::string y_label_;
+    std::vector<Series> series_;
+    bool y_from_zero_ = true;
+    size_t width_ = 64;
+    size_t height_ = 16;
+};
+
+/** One bar in a horizontal bar chart. */
+struct Bar {
+    std::string label;
+    double value = 0.0;
+};
+
+/**
+ * Horizontal ASCII bar chart (used for class-population histograms).
+ */
+class BarChart
+{
+  public:
+    explicit BarChart(std::string title);
+
+    void addBar(std::string label, double value);
+
+    /** Maximum bar length in character cells (default 50). */
+    void setBarWidth(size_t width) { bar_width_ = width; }
+
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::vector<Bar> bars_;
+    size_t bar_width_ = 50;
+};
+
+/**
+ * ASCII heatmap over a dense row-major matrix, rendered with a ramp of
+ * intensity characters plus row/column labels.
+ */
+class Heatmap
+{
+  public:
+    /**
+     * @param values row-major matrix, rows x cols.
+     */
+    Heatmap(std::string title,
+            std::vector<std::string> row_labels,
+            std::vector<std::string> col_labels,
+            std::vector<double> values);
+
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> row_labels_;
+    std::vector<std::string> col_labels_;
+    std::vector<double> values_;
+};
+
+} // namespace gpuscale
+
+#endif // GPUSCALE_BASE_PLOT_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * xoshiro256** implementation.
+ */
+
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace gpuscale {
+
+namespace {
+
+/** SplitMix64 step used for seeding and stream splitting. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    panic_if(lo > hi, "uniform(%f, %f): inverted range", lo, hi);
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    panic_if(lo > hi, "uniformInt(%lld, %lld): inverted range",
+             static_cast<long long>(lo), static_cast<long long>(hi));
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) {
+        // Full 64-bit range requested.
+        return static_cast<int64_t>(next());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + static_cast<int64_t>(v % span);
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; discard the second variate for simplicity.
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double sigma)
+{
+    return mean + sigma * normal();
+}
+
+double
+Rng::logUniform(double lo, double hi)
+{
+    panic_if(lo <= 0 || lo > hi, "logUniform(%f, %f): invalid range",
+             lo, hi);
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace gpuscale

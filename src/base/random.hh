@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic choices in gpuscale (kernel-zoo parameter jitter,
+ * random kernel generation for property tests, k-means seeding) flow
+ * through Rng so that every run of the toolkit is bit-reproducible for
+ * a given seed.  The generator is xoshiro256** (public domain, Blackman
+ * & Vigna), which is fast and passes BigCrush.
+ */
+
+#ifndef GPUSCALE_BASE_RANDOM_HH
+#define GPUSCALE_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace gpuscale {
+
+/**
+ * A small, seedable, copyable PRNG.
+ *
+ * Copying an Rng forks the stream: both copies produce the same future
+ * sequence.  Use split() to derive an independent stream.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via SplitMix64 state expansion. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal via Box-Muller (uses two uniforms). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double sigma);
+
+    /**
+     * Log-uniform sample in [lo, hi]: uniform in log space, useful for
+     * sampling quantities that span orders of magnitude (bytes,
+     * iteration counts).  Requires 0 < lo <= hi.
+     */
+    double logUniform(double lo, double hi);
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * Derive an independent child stream.  Deterministic: the i-th
+     * split of a given Rng state is always the same stream.
+     */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace gpuscale
+
+#endif // GPUSCALE_BASE_RANDOM_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Statistics framework implementation.
+ */
+
+#include "stats.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+
+#include "logging.hh"
+
+namespace gpuscale {
+namespace stats {
+
+StatBase::StatBase(std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << '.' << name() << ' ' << value_
+       << "  # " << desc() << '\n';
+}
+
+Distribution::Distribution(std::string name, std::string desc,
+                           double lo, double hi, size_t num_buckets)
+    : StatBase(std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi), buckets_(num_buckets, 0)
+{
+    panic_if(num_buckets < 1, "Distribution needs >= 1 bucket");
+    panic_if(hi <= lo, "Distribution range [%g, %g) is empty", lo, hi);
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    sum_sq_ += v * v;
+
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        const double width =
+            (hi_ - lo_) / static_cast<double>(buckets_.size());
+        auto idx = static_cast<size_t>((v - lo_) / width);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = std::max(0.0, sum_sq_ / n - (sum_ / n) * (sum_ / n));
+    return std::sqrt(var);
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = sum_sq_ = min_ = max_ = 0.0;
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << '.' << name() << "::count " << count_
+       << "  # " << desc() << '\n';
+    os << prefix << '.' << name() << "::mean " << mean() << '\n';
+    os << prefix << '.' << name() << "::stdev " << stddev() << '\n';
+    os << prefix << '.' << name() << "::min " << min_ << '\n';
+    os << prefix << '.' << name() << "::max " << max_ << '\n';
+}
+
+Formula::Formula(std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+}
+
+void
+Formula::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << '.' << name() << ' ' << value()
+       << "  # " << desc() << '\n';
+}
+
+StatGroup::StatGroup(std::string prefix)
+    : prefix_(std::move(prefix))
+{
+}
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Scalar>(name, desc);
+    Scalar &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &name, const std::string &desc,
+                           double lo, double hi, size_t num_buckets)
+{
+    auto stat =
+        std::make_unique<Distribution>(name, desc, lo, hi, num_buckets);
+    Distribution &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    auto stat = std::make_unique<Formula>(name, desc, std::move(fn));
+    Formula &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &stat : stats_)
+        stat->reset();
+}
+
+void
+StatGroup::printAll(std::ostream &os) const
+{
+    for (const auto &stat : stats_)
+        stat->print(os, prefix_);
+}
+
+} // namespace stats
+} // namespace gpuscale

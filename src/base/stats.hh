@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A light-weight, gem5-inspired statistics framework.
+ *
+ * Simulator components declare named statistics inside a StatGroup.
+ * Each statistic carries a description so a stat dump is self-
+ * documenting.  Three kinds are provided:
+ *
+ *  - Scalar:       a single accumulating value (counter or level).
+ *  - Distribution: min/max/mean/stddev plus fixed-width buckets.
+ *  - Formula:      a value computed from other stats at dump time.
+ */
+
+#ifndef GPUSCALE_BASE_STATS_HH
+#define GPUSCALE_BASE_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpuscale {
+namespace stats {
+
+/** Common interface for every named statistic. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+    /** Append one or more "name value # desc" lines to the stream. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A single accumulating scalar. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void reset() override { value_ = 0.0; }
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Sampled distribution with fixed-width buckets. */
+class Distribution : public StatBase
+{
+  public:
+    /**
+     * @param lo lower edge of the first bucket.
+     * @param hi upper edge of the last bucket (samples above are
+     *           counted in the overflow bin).
+     * @param num_buckets number of equal-width buckets; must be >= 1.
+     */
+    Distribution(std::string name, std::string desc,
+                 double lo, double hi, size_t num_buckets);
+
+    void sample(double v);
+
+    uint64_t count() const { return count_; }
+    double minSample() const { return min_; }
+    double maxSample() const { return max_; }
+    double mean() const;
+    double stddev() const;
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+
+    void reset() override;
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> buckets_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A derived value evaluated lazily at dump time. */
+class Formula : public StatBase
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void reset() override {}
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * Owner of a set of statistics sharing a dotted name prefix.
+ *
+ * Components embed a StatGroup and register their stats against it;
+ * the group owns the stat objects and can reset/print them together.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Create and register a Scalar; the group retains ownership. */
+    Scalar &addScalar(const std::string &name, const std::string &desc);
+
+    /** Create and register a Distribution. */
+    Distribution &addDistribution(const std::string &name,
+                                  const std::string &desc,
+                                  double lo, double hi,
+                                  size_t num_buckets);
+
+    /** Create and register a Formula. */
+    Formula &addFormula(const std::string &name, const std::string &desc,
+                        std::function<double()> fn);
+
+    const std::string &prefix() const { return prefix_; }
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+    /** Print every stat in registration order. */
+    void printAll(std::ostream &os) const;
+
+    size_t size() const { return stats_.size(); }
+
+  private:
+    std::string prefix_;
+    std::vector<std::unique_ptr<StatBase>> stats_;
+};
+
+} // namespace stats
+} // namespace gpuscale
+
+#endif // GPUSCALE_BASE_STATS_HH

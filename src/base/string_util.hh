@@ -1,0 +1,48 @@
+/**
+ * @file
+ * String helpers shared by the CSV, table, and report modules.
+ */
+
+#ifndef GPUSCALE_BASE_STRING_UTIL_HH
+#define GPUSCALE_BASE_STRING_UTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuscale {
+
+/** Split on a single-character delimiter; keeps empty fields. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Join pieces with a separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 std::string_view sep);
+
+/** Left-pad with spaces to at least width characters. */
+std::string padLeft(std::string_view s, size_t width);
+
+/** Right-pad with spaces to at least width characters. */
+std::string padRight(std::string_view s, size_t width);
+
+/** Fixed-notation double with the given number of decimals. */
+std::string formatDouble(double v, int decimals = 3);
+
+/**
+ * Human-friendly SI rendering: 1234567 -> "1.23M".  Used in tables
+ * where raw magnitudes would be unreadable.
+ */
+std::string formatSi(double v, int decimals = 2);
+
+/** True if s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+} // namespace gpuscale
+
+#endif // GPUSCALE_BASE_STRING_UTIL_HH

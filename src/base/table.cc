@@ -1,0 +1,107 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "table.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+#include "string_util.hh"
+
+namespace gpuscale {
+
+void
+TextTable::addColumn(const std::string &header, Align align)
+{
+    panic_if(!rows_.empty(), "addColumn after rows were added");
+    headers_.push_back(header);
+    aligns_.push_back(align);
+}
+
+void
+TextTable::beginRow()
+{
+    panic_if(headers_.empty(), "table has no columns");
+    if (!rows_.empty()) {
+        panic_if(rows_.back().size() != headers_.size(),
+                 "previous row has %zu cells, expected %zu",
+                 rows_.back().size(), headers_.size());
+    }
+    rows_.emplace_back();
+}
+
+void
+TextTable::cell(const std::string &value)
+{
+    panic_if(rows_.empty(), "cell() before beginRow()");
+    panic_if(rows_.back().size() >= headers_.size(),
+             "row overflow: table has %zu columns", headers_.size());
+    rows_.back().push_back(value);
+}
+
+void
+TextTable::cell(double value, int decimals)
+{
+    cell(formatDouble(value, decimals));
+}
+
+void
+TextTable::cell(int64_t value)
+{
+    cell(strprintf("%lld", static_cast<long long>(value)));
+}
+
+void
+TextTable::row(const std::vector<std::string> &cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "row has %zu cells, expected %zu",
+             cells.size(), headers_.size());
+    beginRow();
+    for (const auto &c : cells)
+        cell(c);
+}
+
+std::string
+TextTable::render() const
+{
+    panic_if(headers_.empty(), "rendering a table with no columns");
+
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_) {
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            line += ' ';
+            line += aligns_[c] == Align::Right
+                        ? padLeft(v, widths[c])
+                        : padRight(v, widths[c]);
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(headers_);
+    out += "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        out += aligns_[c] == Align::Right
+                   ? std::string(widths[c] + 1, '-') + ":|"
+                   : std::string(widths[c] + 2, '-') + "|";
+    }
+    out += '\n';
+    for (const auto &r : rows_)
+        out += render_row(r);
+    return out;
+}
+
+} // namespace gpuscale

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Terminal table rendering for the reproduced tables.
+ */
+
+#ifndef GPUSCALE_BASE_TABLE_HH
+#define GPUSCALE_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace gpuscale {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Columns are declared with an alignment; rows are added as string
+ * cells (numeric convenience overloads provided).  render() produces
+ * a GitHub-markdown-compatible table so the bench output can be pasted
+ * directly into EXPERIMENTS.md.
+ */
+class TextTable
+{
+  public:
+    enum class Align { Left, Right };
+
+    /** Declare a column; call before adding rows. */
+    void addColumn(const std::string &header, Align align = Align::Left);
+
+    /** Begin a new row. */
+    void beginRow();
+
+    /** Append a cell to the current row (excess cells are a panic). */
+    void cell(const std::string &value);
+    void cell(double value, int decimals = 3);
+    void cell(int64_t value);
+
+    /** Convenience: add a full row at once. */
+    void row(const std::vector<std::string> &cells);
+
+    size_t numRows() const { return rows_.size(); }
+    size_t numColumns() const { return headers_.size(); }
+
+    /** Render as a markdown-style table. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gpuscale
+
+#endif // GPUSCALE_BASE_TABLE_HH

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Analytic model implementation.
+ */
+
+#include "analytic_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "cache_model.hh"
+#include "dispatch.hh"
+#include "gpu_config.hh"
+#include "interconnect.hh"
+#include "kernel_desc.hh"
+#include "memory_system.hh"
+#include "occupancy.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+std::string
+boundResourceName(BoundResource r)
+{
+    switch (r) {
+      case BoundResource::Compute: return "compute";
+      case BoundResource::Lds:     return "lds";
+      case BoundResource::L1:      return "l1";
+      case BoundResource::L2:      return "l2";
+      case BoundResource::Dram:    return "dram";
+      case BoundResource::Latency: return "latency";
+      case BoundResource::Atomics: return "atomics";
+      case BoundResource::Launch:  return "launch";
+    }
+    panic("unknown bound resource %d", static_cast<int>(r));
+}
+
+AnalyticModel::AnalyticModel(AnalyticParams params)
+    : params_(params)
+{
+}
+
+KernelPerf
+AnalyticModel::estimateParallelPhase(const KernelDesc &kernel,
+                                     const GpuConfig &cfg) const
+{
+    KernelPerf perf;
+    perf.occupancy = computeOccupancy(kernel, cfg);
+    perf.cache = computeCacheBehavior(kernel, cfg, perf.occupancy);
+
+    const Occupancy &occ = perf.occupancy;
+    const double clk = cfg.coreClkHz();
+    const double total_waves =
+        static_cast<double>(kernel.totalWaves(cfg));
+    const double total_items =
+        static_cast<double>(kernel.totalWorkItems());
+
+    //
+    // Workgroup quantization: each CU drains ceil(nwg/cus) workgroups
+    // while an ideally divisible launch would drain nwg/cus.  This is
+    // the multiplier on every CU-local throughput term, and it is what
+    // makes small launches plateau (and saw-tooth) as CUs are added.
+    //
+    const double wgs = static_cast<double>(kernel.num_workgroups);
+    const double cus = static_cast<double>(cfg.num_cus);
+    perf.imbalance_factor = std::ceil(wgs / cus) / (wgs / cus);
+
+    //
+    // CU-local issue bounds.
+    //
+    // Each wavefront instruction occupies a SIMD for
+    // wavefront_size / lanes_per_simd cycles (4 on GCN); divergence
+    // wastes issued cycles; transcendentals run at quarter rate.
+    const double div_mult = 1.0 / (1.0 - kernel.branch_divergence);
+    const int issue_cycles_per_inst =
+        cfg.wavefront_size / cfg.lanes_per_simd;
+    const double compute_cycles_per_wave =
+        (kernel.valu_ops + 4.0 * kernel.sfu_ops) *
+        issue_cycles_per_inst * div_mult;
+
+    const double simd_cycles_total = total_waves * compute_cycles_per_wave;
+    const double simd_rate = cus * cfg.simds_per_cu * clk;
+    perf.t_compute =
+        simd_cycles_total / simd_rate * perf.imbalance_factor;
+
+    // LDS: lds_ops per work-item, lds_lanes_per_cycle serviced per CU.
+    const double lds_lane_ops = total_items * kernel.lds_ops;
+    perf.t_lds = lds_lane_ops / (cus * cfg.lds_lanes_per_cycle * clk) *
+                 perf.imbalance_factor;
+
+    //
+    // Memory traffic.
+    //
+    const double useful_bytes = kernel.totalBytesRequested();
+    // Every access touches the L1 at line granularity.
+    const double l1_bytes = useful_bytes / kernel.coalescing;
+    const double l2_bytes = useful_bytes * perf.cache.l2_traffic_per_byte;
+    const double dram_bytes =
+        useful_bytes * perf.cache.dram_traffic_per_byte;
+
+    perf.t_l1 = l1_bytes / cfg.peakL1Bw() * perf.imbalance_factor;
+
+    const XbarState xbar = computeXbar(cfg);
+    perf.t_l2 = l2_bytes / xbar.effective_bw;
+
+    const MemorySystem mem(cfg);
+    perf.t_dram = dram_bytes / mem.peakBandwidth();
+
+    //
+    // Atomics: a fixed global pipeline plus contention-driven retries
+    // that grow with the number of concurrently active waves.  Retry
+    // growth is the mechanism that turns CU scaling *negative* for
+    // reduction-style kernels.
+    //
+    const double total_atomics = total_items * kernel.atomic_ops;
+    if (total_atomics > 0) {
+        const double retry_mult =
+            1.0 + kernel.atomic_contention * params_.atomic_retry_scale *
+                      static_cast<double>(occ.active_waves) /
+                      params_.atomic_reference_waves;
+        perf.t_atomic = total_atomics * retry_mult /
+                        (cfg.atomic_ops_per_cycle * clk);
+    }
+
+    //
+    // Latency bound with a short fixed-point on DRAM queueing.
+    //
+    const double mem_insts_per_wave =
+        kernel.mem_loads + kernel.mem_stores;
+    const double chains = mem_insts_per_wave / kernel.mlp;
+    const double l1_frac = perf.cache.l1_hit_rate;
+    const double l2_frac = (1.0 - l1_frac) * perf.cache.l2_hit_rate;
+    const double dram_access_frac =
+        (1.0 - perf.cache.l1_hit_rate) * (1.0 - perf.cache.l2_hit_rate);
+
+    const double barrier_cycles =
+        kernel.barriers * (params_.barrier_base_cycles +
+                           params_.barrier_cycles_per_wave *
+                               kernel.wavesPerWg(cfg));
+
+    const double concurrency =
+        std::max<double>(1.0, static_cast<double>(occ.active_waves));
+
+    //
+    // Closed-system latency bound: with N concurrent wavefronts each
+    // alternating compute segments and memory-dependency chains, the
+    // asymptotic runtime is total_waves x wave_time / N using the
+    // *unloaded* latency (bounds analysis for closed queueing
+    // networks).  Saturation is not modelled by inflating latency —
+    // the bandwidth terms already in the roofline max() cap the
+    // throughput — which keeps the model monotone in both clocks.
+    //
+    const double avg_latency =
+        l1_frac * cfg.l1_latency_cycles / clk +
+        l2_frac * (cfg.l2_latency_cycles / clk + xbar.latency_s) +
+        dram_access_frac *
+            (cfg.l2_latency_cycles / clk + mem.unloadedLatency());
+    const double wave_time =
+        compute_cycles_per_wave / clk + barrier_cycles / clk +
+        chains * avg_latency;
+    perf.t_latency = total_waves * wave_time / concurrency;
+
+    const double t_core =
+        std::max({perf.t_compute, perf.t_lds, perf.t_l1, perf.t_l2,
+                  perf.t_dram, perf.t_atomic, perf.t_latency});
+    perf.kernel_time_s = t_core;
+
+    // Delivered-bandwidth bookkeeping (reporting only).
+    const double demand_bw = t_core > 0 ? dram_bytes / t_core : 0.0;
+    const DramState dram_state = mem.evaluate(demand_bw);
+    perf.achieved_dram_bw = dram_state.achieved_bw;
+    perf.dram_utilization = dram_state.utilization;
+
+    const double max_term = t_core;
+    perf.bound = BoundResource::Compute;
+    struct { double t; BoundResource r; } terms[] = {
+        { perf.t_compute, BoundResource::Compute },
+        { perf.t_lds, BoundResource::Lds },
+        { perf.t_l1, BoundResource::L1 },
+        { perf.t_l2, BoundResource::L2 },
+        { perf.t_dram, BoundResource::Dram },
+        { perf.t_atomic, BoundResource::Atomics },
+        { perf.t_latency, BoundResource::Latency },
+    };
+    for (const auto &term : terms) {
+        if (term.t >= max_term) {
+            perf.bound = term.r;
+            break;
+        }
+    }
+
+    return perf;
+}
+
+KernelPerf
+AnalyticModel::estimate(const KernelDesc &kernel,
+                        const GpuConfig &cfg) const
+{
+    kernel.validate();
+    cfg.validate();
+
+    KernelPerf perf = estimateParallelPhase(kernel, cfg);
+
+    //
+    // Amdahl: a serial fraction of the work executes at single-CU
+    // throughput regardless of the machine size.
+    //
+    double serial_time = 0.0;
+    if (kernel.serial_fraction > 0.0) {
+        GpuConfig one_cu = cfg;
+        one_cu.num_cus = 1;
+        const KernelPerf serial_perf =
+            estimateParallelPhase(kernel, one_cu);
+        serial_time = kernel.serial_fraction * serial_perf.kernel_time_s;
+        perf.kernel_time_s =
+            (1.0 - kernel.serial_fraction) * perf.kernel_time_s +
+            serial_time;
+    }
+
+    const DispatchState disp = computeDispatch(kernel, cfg,
+                                               perf.occupancy);
+    perf.t_launch = disp.launch_overhead_s;
+
+    const double per_launch = perf.kernel_time_s + perf.t_launch;
+    perf.time_s = static_cast<double>(kernel.launches) * per_launch;
+    perf.t_serial =
+        static_cast<double>(kernel.launches) * serial_time;
+
+    if (perf.t_launch > perf.kernel_time_s)
+        perf.bound = BoundResource::Launch;
+
+    //
+    // Delivered rates over the whole run.
+    //
+    const double total_flops =
+        static_cast<double>(kernel.launches) *
+        static_cast<double>(kernel.totalWorkItems()) *
+        (kernel.valu_ops + 4.0 * kernel.sfu_ops);
+    perf.achieved_gflops =
+        perf.time_s > 0 ? total_flops / perf.time_s / 1e9 : 0.0;
+
+    return perf;
+}
+
+} // namespace gpu
+} // namespace gpuscale

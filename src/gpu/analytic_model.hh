@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fast analytic (interval-analysis) GPU timing model.
+ *
+ * The model bounds a launch's runtime by each hardware resource in
+ * turn — SIMD issue, LDS, L1 ports, the core-clocked L2/crossbar,
+ * DRAM bandwidth, serialized atomics, and exposed memory latency
+ * under limited wavefront concurrency — and takes the maximum,
+ * roofline style.  The latency bound is the closed-queueing-network
+ * asymptote (unloaded latency; the bandwidth terms cap throughput at
+ * saturation).  Workgroup quantization (ceil(num_wgs / num_cus)
+ * imbalance), Amdahl serial fractions, and per-launch host overhead
+ * complete the picture.
+ *
+ * Each term maps onto one of the paper's observed scaling behaviours;
+ * see DESIGN.md for the table.  The model evaluates in ~1 us, which
+ * is what makes the full 267-kernel x 891-configuration census
+ * (238k estimates) practical on a laptop.
+ */
+
+#ifndef GPUSCALE_GPU_ANALYTIC_MODEL_HH
+#define GPUSCALE_GPU_ANALYTIC_MODEL_HH
+
+#include "perf_model.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+/** Tunable calibration constants for the analytic model. */
+struct AnalyticParams {
+    /** Core cycles to resynchronize one barrier per extra wave. */
+    double barrier_cycles_per_wave = 4.0;
+
+    /** Fixed core cycles per barrier. */
+    double barrier_base_cycles = 20.0;
+
+    /**
+     * Retry cost scale for contended atomics: the extra cost factor a
+     * fully contended kernel (atomic_contention = 1) pays when the
+     * whole reference machine's wavefronts hammer one address.
+     */
+    double atomic_retry_scale = 2.5;
+
+    /** Reference wavefront population the retry scale is quoted at. */
+    double atomic_reference_waves = 1760.0;
+};
+
+/** The fast interval-analysis model. */
+class AnalyticModel : public PerfModel
+{
+  public:
+    AnalyticModel() = default;
+    explicit AnalyticModel(AnalyticParams params);
+
+    KernelPerf estimate(const KernelDesc &kernel,
+                        const GpuConfig &cfg) const override;
+
+    std::string name() const override { return "analytic"; }
+
+    const AnalyticParams &params() const { return params_; }
+
+  private:
+    /**
+     * Device time for the parallel phase of one launch on the given
+     * configuration (no host overhead, no serial fraction).
+     */
+    KernelPerf estimateParallelPhase(const KernelDesc &kernel,
+                                     const GpuConfig &cfg) const;
+
+    AnalyticParams params_;
+};
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_ANALYTIC_MODEL_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cache model implementation.
+ */
+
+#include "cache_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "gpu_config.hh"
+#include "kernel_desc.hh"
+#include "occupancy.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+double
+capacityFactor(double capacity, double footprint)
+{
+    panic_if(capacity <= 0, "capacityFactor: non-positive capacity %g",
+             capacity);
+    if (footprint <= 0)
+        return 1.0;
+    // 1 - exp(-c/f): ~1 when the set fits, ~c/f when oversubscribed
+    // (the fraction of the set that is resident under LRU churn).
+    return 1.0 - std::exp(-capacity / footprint);
+}
+
+CacheBehavior
+computeCacheBehavior(const KernelDesc &kernel, const GpuConfig &cfg,
+                     const Occupancy &occ)
+{
+    CacheBehavior out;
+
+    // --- L1 (private per CU): intra-workgroup reuse.
+    const double wgs_per_used_cu =
+        occ.used_cus > 0
+            ? static_cast<double>(occ.active_wgs) / occ.used_cus
+            : 0.0;
+    const double l1_footprint =
+        wgs_per_used_cu * kernel.footprint_bytes_per_wg +
+        // Each CU streams the shared data through its own L1 as well.
+        kernel.shared_footprint_bytes;
+    out.l1_hit_rate =
+        kernel.l1_reuse * capacityFactor(cfg.l1_bytes_per_cu, l1_footprint);
+
+    // --- L2 (shared): inter-workgroup and read-shared reuse.  The
+    // resident set scales with *machine-wide* active workgroups, which
+    // is what couples hit rate to the number of enabled CUs.
+    out.l2_footprint_bytes =
+        kernel.shared_footprint_bytes +
+        static_cast<double>(occ.active_wgs) * kernel.footprint_bytes_per_wg;
+    out.l2_hit_rate =
+        kernel.l2_reuse *
+        capacityFactor(cfg.l2CapacityBytes(), out.l2_footprint_bytes);
+
+    // --- Traffic multipliers, per *useful* requested byte.  Poor
+    // coalescing fetches mostly-unused lines, inflating every level
+    // below the L1.
+    const double miss_amplification = 1.0 / kernel.coalescing;
+    out.l2_traffic_per_byte = (1.0 - out.l1_hit_rate) * miss_amplification;
+    out.dram_traffic_per_byte =
+        out.l2_traffic_per_byte * (1.0 - out.l2_hit_rate);
+
+    return out;
+}
+
+} // namespace gpu
+} // namespace gpuscale

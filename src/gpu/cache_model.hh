@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Capacity-driven cache hit-rate model.
+ *
+ * Hit rates are derived from the kernel's declared reuse potential
+ * (how much locality the access stream *has*) scaled by how much of
+ * the relevant working set actually fits in the cache.  Because the
+ * L2 is shared, its resident footprint grows with the number of
+ * concurrently active workgroups — which grows with the number of
+ * enabled CUs.  This is the mechanism behind the paper's "kernels
+ * that lose performance when compute units are added": enabling more
+ * CUs inflates the aggregate working set past the L2 capacity, hit
+ * rate collapses, and DRAM traffic rises faster than compute
+ * throughput.
+ */
+
+#ifndef GPUSCALE_GPU_CACHE_MODEL_HH
+#define GPUSCALE_GPU_CACHE_MODEL_HH
+
+namespace gpuscale {
+namespace gpu {
+
+struct GpuConfig;
+struct KernelDesc;
+struct Occupancy;
+
+/** Resolved hit rates and traffic multipliers for one launch. */
+struct CacheBehavior {
+    /** Fraction of vector-memory accesses served by the L1. */
+    double l1_hit_rate = 0.0;
+
+    /** Fraction of L1 misses served by the L2. */
+    double l2_hit_rate = 0.0;
+
+    /** Bytes crossing L1<->L2 per useful requested byte. */
+    double l2_traffic_per_byte = 0.0;
+
+    /** Bytes crossing L2<->DRAM per useful requested byte. */
+    double dram_traffic_per_byte = 0.0;
+
+    /** Aggregate L2-resident footprint used by the capacity model. */
+    double l2_footprint_bytes = 0.0;
+};
+
+/**
+ * Evaluate the cache model.
+ *
+ * @param kernel the kernel descriptor.
+ * @param cfg the hardware configuration.
+ * @param occ occupancy previously computed for (kernel, cfg).
+ */
+CacheBehavior computeCacheBehavior(const KernelDesc &kernel,
+                                   const GpuConfig &cfg,
+                                   const Occupancy &occ);
+
+/**
+ * Smooth capacity factor in [0, 1]: how much of the reuse potential
+ * survives when a working set of `footprint` bytes contends for
+ * `capacity` bytes.  1 when the set fits comfortably; decays toward
+ * capacity/footprint when oversubscribed (LRU-like thrashing).
+ */
+double capacityFactor(double capacity, double footprint);
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_CACHE_MODEL_HH

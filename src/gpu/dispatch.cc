@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dispatch model implementation.
+ */
+
+#include "dispatch.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "gpu_config.hh"
+#include "kernel_desc.hh"
+#include "occupancy.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+DispatchState
+computeDispatch(const KernelDesc &kernel, const GpuConfig &cfg,
+                const Occupancy &occ)
+{
+    DispatchState state;
+
+    const int64_t capacity =
+        static_cast<int64_t>(occ.wgs_per_cu) * cfg.num_cus;
+    panic_if(capacity < 1, "dispatch with zero machine capacity");
+
+    state.batches = (kernel.num_workgroups + capacity - 1) / capacity;
+    const double ideal_batches =
+        static_cast<double>(kernel.num_workgroups) /
+        static_cast<double>(capacity);
+    state.tail_factor =
+        static_cast<double>(state.batches) / std::max(ideal_batches, 1e-12);
+
+    // A launch smaller than one full batch cannot use the whole
+    // machine at all; fold that into fill as well.
+    state.machine_fill = 1.0 / state.tail_factor;
+
+    state.launch_overhead_s = kernel.host_overhead_us * 1e-6;
+    return state;
+}
+
+} // namespace gpu
+} // namespace gpuscale

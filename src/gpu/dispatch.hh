@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workgroup dispatch model: batching (tail) effects and launch
+ * overhead.
+ *
+ * A launch executes in ceil(num_wgs / machine_capacity) residency
+ * batches; a launch whose workgroup count is not a multiple of the
+ * machine capacity leaves CUs idle during the final batch.  On large
+ * CU counts with small launches this quantization is the dominant
+ * reason benchmark suites "do not scale to modern GPU sizes".
+ */
+
+#ifndef GPUSCALE_GPU_DISPATCH_HH
+#define GPUSCALE_GPU_DISPATCH_HH
+
+#include <cstdint>
+
+namespace gpuscale {
+namespace gpu {
+
+struct GpuConfig;
+struct KernelDesc;
+struct Occupancy;
+
+/** Resolved dispatch behaviour for one launch. */
+struct DispatchState {
+    /** Residency batches needed to drain the launch. */
+    int64_t batches = 1;
+
+    /**
+     * Runtime multiplier >= 1 due to batch quantization: the ratio of
+     * whole batches to the fractional batches the work would ideally
+     * occupy.
+     */
+    double tail_factor = 1.0;
+
+    /** Fraction of CU x batch slots doing useful work, in (0, 1]. */
+    double machine_fill = 1.0;
+
+    /** Host + runtime overhead per launch in seconds. */
+    double launch_overhead_s = 0.0;
+};
+
+/** Evaluate dispatch behaviour for (kernel, cfg, occupancy). */
+DispatchState computeDispatch(const KernelDesc &kernel,
+                              const GpuConfig &cfg,
+                              const Occupancy &occ);
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_DISPATCH_HH

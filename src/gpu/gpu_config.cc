@@ -1,0 +1,130 @@
+/**
+ * @file
+ * GpuConfig implementation.
+ */
+
+#include "gpu_config.hh"
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+double
+GpuConfig::peakGflops() const
+{
+    const double lanes = static_cast<double>(num_cus) * simds_per_cu *
+                         lanes_per_simd;
+    // One FMA (2 flops) per lane per cycle.
+    return lanes * 2.0 * coreClkHz() / 1e9;
+}
+
+double
+GpuConfig::peakDramBw() const
+{
+    return static_cast<double>(dram_bus_bytes) * dram_transfers_per_clk *
+           memClkHz();
+}
+
+double
+GpuConfig::effectiveDramBw() const
+{
+    return peakDramBw() * dram_efficiency;
+}
+
+double
+GpuConfig::peakL2Bw() const
+{
+    return static_cast<double>(l2_slices) * l2_bytes_per_cycle_per_slice *
+           coreClkHz();
+}
+
+double
+GpuConfig::peakL1Bw() const
+{
+    return static_cast<double>(num_cus) * l1_bytes_per_cycle * coreClkHz();
+}
+
+double
+GpuConfig::l2CapacityBytes() const
+{
+    return static_cast<double>(l2_slices) * l2_bytes_per_slice;
+}
+
+void
+GpuConfig::validate() const
+{
+    fatal_if(num_cus < 1, "config %s: need at least 1 CU", id().c_str());
+    fatal_if(core_clk_mhz <= 0, "config %s: non-positive core clock",
+             id().c_str());
+    fatal_if(mem_clk_mhz <= 0, "config %s: non-positive memory clock",
+             id().c_str());
+    fatal_if(simds_per_cu < 1 || lanes_per_simd < 1,
+             "config %s: malformed SIMD geometry", id().c_str());
+    fatal_if(wavefront_size != simds_per_cu * lanes_per_simd &&
+                 wavefront_size % lanes_per_simd != 0,
+             "config %s: wavefront size %d not issueable on %d-lane SIMDs",
+             id().c_str(), wavefront_size, lanes_per_simd);
+    fatal_if(max_waves_per_simd < 1 || max_wgs_per_cu < 1,
+             "config %s: zero occupancy limits", id().c_str());
+    fatal_if(vgprs_per_simd < 1, "config %s: no registers", id().c_str());
+    fatal_if(lds_bytes_per_cu < 0 || l1_bytes_per_cu < 1,
+             "config %s: malformed CU storage", id().c_str());
+    fatal_if(l2_slices < 1 || l2_bytes_per_slice < 1,
+             "config %s: malformed L2", id().c_str());
+    fatal_if(dram_bus_bytes < 1 || dram_transfers_per_clk < 1,
+             "config %s: malformed DRAM interface", id().c_str());
+    fatal_if(dram_efficiency <= 0.0 || dram_efficiency > 1.0,
+             "config %s: DRAM efficiency %f outside (0, 1]",
+             id().c_str(), dram_efficiency);
+}
+
+std::string
+GpuConfig::id() const
+{
+    return strprintf("cu%d_c%.0f_m%.0f", num_cus, core_clk_mhz,
+                     mem_clk_mhz);
+}
+
+std::string
+GpuConfig::describe() const
+{
+    return strprintf(
+        "%d CUs @ %.0f MHz, mem %.0f MHz (%.0f GFLOP/s, %.1f GB/s DRAM, "
+        "%.1f GB/s L2)",
+        num_cus, core_clk_mhz, mem_clk_mhz, peakGflops(),
+        effectiveDramBw() / 1e9, peakL2Bw() / 1e9);
+}
+
+GpuConfig
+makeMaxConfig()
+{
+    GpuConfig cfg;
+    cfg.num_cus = 44;
+    cfg.core_clk_mhz = 1000.0;
+    cfg.mem_clk_mhz = 1250.0;
+    return cfg;
+}
+
+GpuConfig
+makeMinConfig()
+{
+    GpuConfig cfg;
+    cfg.num_cus = 4;
+    cfg.core_clk_mhz = 200.0;
+    cfg.mem_clk_mhz = 150.0;
+    return cfg;
+}
+
+GpuConfig
+makeMidConfig()
+{
+    GpuConfig cfg;
+    cfg.num_cus = 24;
+    cfg.core_clk_mhz = 600.0;
+    cfg.mem_clk_mhz = 700.0;
+    return cfg;
+}
+
+} // namespace gpu
+} // namespace gpuscale

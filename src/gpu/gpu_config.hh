@@ -1,0 +1,181 @@
+/**
+ * @file
+ * GPU hardware configuration.
+ *
+ * A GpuConfig captures the three knobs the study sweeps — active
+ * compute units, core clock, and memory clock — plus the fixed
+ * GCN-like microarchitecture parameters shared by every configuration.
+ * Derived peak rates (FLOP/s, cache and DRAM bandwidth) are computed
+ * here so every model consumes one consistent view of the machine.
+ *
+ * Clock domains, which drive several of the paper's "non-obvious"
+ * behaviours:
+ *  - core clock:   CUs (SIMDs, LDS, L1), the CU<->L2 crossbar, and the
+ *                  L2 slices.  Raising only the memory clock does not
+ *                  speed up an L2-bandwidth-bound kernel.
+ *  - memory clock: the GDDR interface only.
+ */
+
+#ifndef GPUSCALE_GPU_GPU_CONFIG_HH
+#define GPUSCALE_GPU_GPU_CONFIG_HH
+
+#include <string>
+
+namespace gpuscale {
+namespace gpu {
+
+/**
+ * One hardware configuration of the modelled GPU.
+ *
+ * Value-semantic; cheap to copy.  Invalid combinations are rejected by
+ * validate(), which is called by the models before use.
+ */
+struct GpuConfig {
+    //
+    // The three swept knobs.
+    //
+
+    /** Active compute units (paper range: 4..44, an 11x span). */
+    int num_cus = 44;
+
+    /** Core/engine clock in MHz (paper range: 200..1000, a 5x span). */
+    double core_clk_mhz = 1000.0;
+
+    /** Memory clock in MHz (paper range: 150..1250, an 8.33x span). */
+    double mem_clk_mhz = 1250.0;
+
+    //
+    // Fixed GCN-like microarchitecture parameters.
+    //
+
+    /** SIMD units per CU. */
+    int simds_per_cu = 4;
+
+    /** Lanes per SIMD; a 64-wide wavefront issues over 4 cycles. */
+    int lanes_per_simd = 16;
+
+    /** Work-items per wavefront. */
+    int wavefront_size = 64;
+
+    /** Wavefront contexts per SIMD (occupancy ceiling). */
+    int max_waves_per_simd = 10;
+
+    /** Architected vector registers available per SIMD lane. */
+    int vgprs_per_simd = 256;
+
+    /** Hardware workgroup slots per CU. */
+    int max_wgs_per_cu = 16;
+
+    /** LDS (local data share) bytes per CU. */
+    int lds_bytes_per_cu = 64 * 1024;
+
+    /** Vector L1 data cache bytes per CU. */
+    int l1_bytes_per_cu = 16 * 1024;
+
+    /** Shared L2 slices (fixed, independent of active CUs). */
+    int l2_slices = 8;
+
+    /** Capacity per L2 slice in bytes. */
+    int l2_bytes_per_slice = 128 * 1024;
+
+    /** Bytes an L2 slice can deliver per core-clock cycle. */
+    int l2_bytes_per_cycle_per_slice = 64;
+
+    /** Bytes the L1 can deliver per core-clock cycle (per CU). */
+    int l1_bytes_per_cycle = 64;
+
+    /** LDS lanes serviced per core-clock cycle (per CU). */
+    int lds_lanes_per_cycle = 32;
+
+    /** DRAM bus width in bytes (384-bit GDDR5-class interface). */
+    int dram_bus_bytes = 48;
+
+    /** Data transfers per memory-clock cycle (GDDR quad pumping). */
+    int dram_transfers_per_clk = 4;
+
+    /** Fraction of the pin bandwidth a real controller sustains. */
+    double dram_efficiency = 0.80;
+
+    /** Unloaded DRAM access latency in nanoseconds (clock invariant). */
+    double dram_latency_ns = 220.0;
+
+    /** L1 hit latency in core cycles. */
+    double l1_latency_cycles = 28.0;
+
+    /** L2 hit latency in core cycles (includes crossbar hop). */
+    double l2_latency_cycles = 150.0;
+
+    /** Global atomic throughput in operations per core cycle. */
+    double atomic_ops_per_cycle = 1.0;
+
+    //
+    // Derived quantities.
+    //
+
+    /** Core clock in Hz. */
+    double coreClkHz() const { return core_clk_mhz * 1e6; }
+
+    /** Memory clock in Hz. */
+    double memClkHz() const { return mem_clk_mhz * 1e6; }
+
+    /** Total wavefront contexts per CU. */
+    int maxWavesPerCu() const { return simds_per_cu * max_waves_per_simd; }
+
+    /** Peak single-precision FLOP/s (FMA counted as 2 flops). */
+    double peakGflops() const;
+
+    /** Peak raw DRAM pin bandwidth in bytes/s (before efficiency). */
+    double peakDramBw() const;
+
+    /** Sustainable DRAM bandwidth in bytes/s (after efficiency). */
+    double effectiveDramBw() const;
+
+    /** Aggregate L2 bandwidth in bytes/s (core-clock domain). */
+    double peakL2Bw() const;
+
+    /** Aggregate L1 bandwidth in bytes/s across active CUs. */
+    double peakL1Bw() const;
+
+    /** Total L2 capacity in bytes. */
+    double l2CapacityBytes() const;
+
+    /** Seconds per core-clock cycle. */
+    double coreCycleSec() const { return 1.0 / coreClkHz(); }
+
+    //
+    // Utilities.
+    //
+
+    /** fatal() with a descriptive message if the config is malformed. */
+    void validate() const;
+
+    /** Short identifier such as "cu44_c1000_m1250". */
+    std::string id() const;
+
+    /** Human-readable one-line summary. */
+    std::string describe() const;
+
+    bool operator==(const GpuConfig &other) const = default;
+};
+
+/**
+ * Named presets.
+ *
+ * @{
+ */
+
+/** The largest studied configuration (stands in for a flagship card). */
+GpuConfig makeMaxConfig();
+
+/** The smallest studied configuration (embedded-class GPU). */
+GpuConfig makeMinConfig();
+
+/** A mid-range configuration (half the CUs, mid clocks). */
+GpuConfig makeMidConfig();
+
+/** @} */
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_GPU_CONFIG_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Crossbar model implementation.
+ */
+
+#include "interconnect.hh"
+
+#include <algorithm>
+
+#include "gpu_config.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+XbarState
+computeXbar(const GpuConfig &cfg)
+{
+    XbarState state;
+    state.l2_bw = cfg.peakL2Bw();
+
+    // Each CU owns one 64B/cycle request port into the crossbar.
+    state.cu_port_bw = static_cast<double>(cfg.num_cus) *
+                       cfg.l1_bytes_per_cycle * cfg.coreClkHz();
+
+    state.effective_bw = std::min(state.l2_bw, state.cu_port_bw);
+
+    // Traversal cost is folded into the L2 latency parameter; the
+    // crossbar adds a small fixed number of core cycles.
+    state.latency_s = 8.0 * cfg.coreCycleSec();
+    return state;
+}
+
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CU <-> L2 crossbar model.
+ *
+ * The crossbar and the L2 slices run in the *core* clock domain.  A
+ * kernel whose traffic is absorbed by the L2 therefore scales with
+ * core frequency and is indifferent to the memory clock — one of the
+ * paper's "intuitive once you see it" behaviours.  The crossbar also
+ * imposes a per-CU port limit, so very small CU counts can be
+ * link-limited even when aggregate L2 bandwidth is ample.
+ */
+
+#ifndef GPUSCALE_GPU_INTERCONNECT_HH
+#define GPUSCALE_GPU_INTERCONNECT_HH
+
+namespace gpuscale {
+namespace gpu {
+
+struct GpuConfig;
+
+/** Resolved crossbar capability for a configuration. */
+struct XbarState {
+    /** Aggregate L2-side bandwidth in bytes/s. */
+    double l2_bw = 0.0;
+
+    /** Aggregate CU-side (port-limited) bandwidth in bytes/s. */
+    double cu_port_bw = 0.0;
+
+    /** The binding aggregate bandwidth in bytes/s. */
+    double effective_bw = 0.0;
+
+    /** Crossbar traversal latency in seconds. */
+    double latency_s = 0.0;
+};
+
+/** Evaluate the crossbar for a configuration. */
+XbarState computeXbar(const GpuConfig &cfg);
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_INTERCONNECT_HH

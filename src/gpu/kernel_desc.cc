@@ -1,0 +1,113 @@
+/**
+ * @file
+ * KernelDesc implementation.
+ */
+
+#include "kernel_desc.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+#include "gpu_config.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+int
+KernelDesc::wavesPerWg(const GpuConfig &cfg) const
+{
+    return static_cast<int>(
+        (work_items_per_wg + cfg.wavefront_size - 1) / cfg.wavefront_size);
+}
+
+int64_t
+KernelDesc::totalWaves(const GpuConfig &cfg) const
+{
+    return num_workgroups * wavesPerWg(cfg);
+}
+
+int64_t
+KernelDesc::totalWorkItems() const
+{
+    return num_workgroups * work_items_per_wg;
+}
+
+double
+KernelDesc::totalMemInsts() const
+{
+    return static_cast<double>(totalWorkItems()) * (mem_loads + mem_stores);
+}
+
+double
+KernelDesc::totalBytesRequested() const
+{
+    return totalMemInsts() * bytes_per_access;
+}
+
+void
+KernelDesc::validate() const
+{
+    fatal_if(name.empty(), "kernel has no name");
+    const char *n = name.c_str();
+    fatal_if(num_workgroups < 1, "%s: no workgroups", n);
+    fatal_if(work_items_per_wg < 1 || work_items_per_wg > 1024,
+             "%s: work-items per workgroup %d outside [1, 1024]",
+             n, work_items_per_wg);
+    fatal_if(launches < 1, "%s: no launches", n);
+    fatal_if(valu_ops < 0 || salu_ops_per_wave < 0 || sfu_ops < 0,
+             "%s: negative instruction counts", n);
+    fatal_if(mem_loads < 0 || mem_stores < 0, "%s: negative memory mix", n);
+    fatal_if(bytes_per_access <= 0 || bytes_per_access > 64,
+             "%s: bytes per access %f outside (0, 64]", n,
+             bytes_per_access);
+    fatal_if(coalescing <= 0.0 || coalescing > 1.0,
+             "%s: coalescing %f outside (0, 1]", n, coalescing);
+    fatal_if(lds_ops < 0 || lds_bytes_per_wg < 0, "%s: negative LDS", n);
+    fatal_if(vgprs < 1 || vgprs > 256,
+             "%s: vgprs %d outside [1, 256]", n, vgprs);
+    fatal_if(branch_divergence < 0 || branch_divergence >= 1.0,
+             "%s: divergence %f outside [0, 1)", n, branch_divergence);
+    fatal_if(barriers < 0, "%s: negative barriers", n);
+    fatal_if(l1_reuse < 0 || l1_reuse > 1 || l2_reuse < 0 || l2_reuse > 1,
+             "%s: reuse fractions outside [0, 1]", n);
+    fatal_if(footprint_bytes_per_wg < 0 || shared_footprint_bytes < 0,
+             "%s: negative footprints", n);
+    fatal_if(mlp < 1.0, "%s: MLP %f below 1", n, mlp);
+    fatal_if(serial_fraction < 0 || serial_fraction > 1,
+             "%s: serial fraction %f outside [0, 1]", n, serial_fraction);
+    fatal_if(atomic_ops < 0, "%s: negative atomics", n);
+    fatal_if(atomic_contention < 0 || atomic_contention > 1,
+             "%s: atomic contention %f outside [0, 1]", n,
+             atomic_contention);
+    fatal_if(host_overhead_us < 0, "%s: negative host overhead", n);
+}
+
+std::string
+KernelDesc::describe() const
+{
+    return strprintf(
+        "%s: %lld wg x %d wi x %lld launches, %.0f valu/wi, "
+        "%.1f mem/wi @ %.0fB (coal %.2f), AI %.2f flop/B",
+        name.c_str(), static_cast<long long>(num_workgroups),
+        work_items_per_wg, static_cast<long long>(launches), valu_ops,
+        mem_loads + mem_stores, bytes_per_access, coalescing,
+        arithmeticIntensity(*this));
+}
+
+double
+arithmeticIntensity(const KernelDesc &desc)
+{
+    const double flops = desc.valu_ops + 4.0 * desc.sfu_ops;
+    const double line_bytes = 64.0;
+    const double bytes =
+        (desc.mem_loads + desc.mem_stores) * desc.bytes_per_access /
+        desc.coalescing;
+    if (bytes <= 0)
+        return std::numeric_limits<double>::infinity();
+    (void)line_bytes;
+    return flops / bytes;
+}
+
+} // namespace gpu
+} // namespace gpuscale

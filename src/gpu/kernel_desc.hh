@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Kernel descriptors: the static resource profile of a GPGPU kernel.
+ *
+ * A KernelDesc is the model's stand-in for an OpenCL kernel binary plus
+ * its launch parameters.  It captures everything the timing models need
+ * to reproduce the scaling behaviours catalogued by the paper: launch
+ * geometry, per-work-item instruction mix, memory locality, occupancy
+ * limiters, dependency structure, and host-side overheads.
+ */
+
+#ifndef GPUSCALE_GPU_KERNEL_DESC_HH
+#define GPUSCALE_GPU_KERNEL_DESC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpuscale {
+namespace gpu {
+
+struct GpuConfig;
+
+/**
+ * Static description of one GPGPU kernel and its launch.
+ *
+ * All "per work-item" quantities are averages over the launch; the
+ * models multiply them back up by the launch geometry.  Values are
+ * doubles so suite definitions can express fractional averages (e.g.,
+ * 0.25 atomics per work-item).
+ */
+struct KernelDesc {
+    /** Identifier, conventionally "suite/program/kernel". */
+    std::string name;
+
+    //
+    // Launch geometry.
+    //
+
+    /** Workgroups per kernel launch. */
+    int64_t num_workgroups = 1024;
+
+    /** Work-items per workgroup (1..1024). */
+    int work_items_per_wg = 256;
+
+    /** Host-side launches of this kernel per program run. */
+    int64_t launches = 1;
+
+    //
+    // Per-work-item instruction mix.
+    //
+
+    /** Vector-ALU instructions per work-item. */
+    double valu_ops = 100.0;
+
+    /** Scalar-ALU instructions per wavefront (amortized control). */
+    double salu_ops_per_wave = 20.0;
+
+    /** Transcendental ops per work-item (quarter-rate on the SIMD). */
+    double sfu_ops = 0.0;
+
+    /** Vector-memory load instructions per work-item. */
+    double mem_loads = 10.0;
+
+    /** Vector-memory store instructions per work-item. */
+    double mem_stores = 2.0;
+
+    /** Useful bytes touched per lane per memory instruction. */
+    double bytes_per_access = 4.0;
+
+    /**
+     * Coalescing efficiency in (0, 1]: the fraction of each fetched
+     * 64B line that is useful.  1.0 = perfectly coalesced unit-stride;
+     * 4/64 = one 4-byte word used per line (gather/scatter).
+     */
+    double coalescing = 1.0;
+
+    /** LDS accesses per work-item. */
+    double lds_ops = 0.0;
+
+    //
+    // Occupancy limiters.
+    //
+
+    /** LDS bytes statically allocated per workgroup. */
+    double lds_bytes_per_wg = 0.0;
+
+    /** Vector registers per work-item (1..256). */
+    int vgprs = 32;
+
+    //
+    // Control behaviour.
+    //
+
+    /**
+     * Branch divergence in [0, 1): the fraction of issued vector
+     * cycles wasted on inactive lanes.  0 = fully convergent.
+     */
+    double branch_divergence = 0.0;
+
+    /** Workgroup barriers executed per work-item. */
+    double barriers = 0.0;
+
+    //
+    // Memory locality.
+    //
+
+    /**
+     * Fraction of memory accesses that *could* hit the L1 when the
+     * per-workgroup working set fits (intra-workgroup temporal reuse).
+     */
+    double l1_reuse = 0.5;
+
+    /**
+     * Fraction of L1 misses that *could* hit the L2 when the aggregate
+     * working set fits (inter-workgroup / read-shared reuse).
+     */
+    double l2_reuse = 0.5;
+
+    /** Private working-set bytes per workgroup. */
+    double footprint_bytes_per_wg = 64.0 * 1024;
+
+    /** Read-shared bytes touched by all workgroups (tables, halos). */
+    double shared_footprint_bytes = 0.0;
+
+    //
+    // Dependency structure.
+    //
+
+    /**
+     * Memory-level parallelism: independent outstanding memory
+     * requests per wavefront.  1.0 = strict pointer chasing.
+     */
+    double mlp = 4.0;
+
+    /**
+     * Fraction of a launch's work that is effectively serialized on
+     * one CU (single-workgroup reduction phases, ordered sections).
+     */
+    double serial_fraction = 0.0;
+
+    /** Global atomic operations per work-item. */
+    double atomic_ops = 0.0;
+
+    /**
+     * Contention exponent for atomics in [0, 1]: 0 = atomics to
+     * disjoint addresses (no retries), 1 = all atomics hammer one
+     * address (retry cost grows with the number of active waves).
+     */
+    double atomic_contention = 0.0;
+
+    //
+    // Host-side behaviour.
+    //
+
+    /** Host + runtime + dispatch overhead per launch, microseconds. */
+    double host_overhead_us = 8.0;
+
+    //
+    // Derived quantities.
+    //
+
+    /** Wavefronts per workgroup on the given machine. */
+    int wavesPerWg(const GpuConfig &cfg) const;
+
+    /** Total wavefronts in one launch. */
+    int64_t totalWaves(const GpuConfig &cfg) const;
+
+    /** Total work-items in one launch. */
+    int64_t totalWorkItems() const;
+
+    /** Total vector-memory instructions in one launch. */
+    double totalMemInsts() const;
+
+    /** Useful bytes requested by one launch. */
+    double totalBytesRequested() const;
+
+    /** fatal() with a descriptive message if the descriptor is bad. */
+    void validate() const;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+};
+
+/**
+ * Classification helpers used by the workload suites to sanity-check
+ * that a descriptor lands in the regime its archetype intends.
+ *
+ * @param desc the kernel.
+ * @return flops per DRAM byte assuming zero cache reuse.
+ */
+double arithmeticIntensity(const KernelDesc &desc);
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_KERNEL_DESC_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DRAM model implementation.
+ */
+
+#include "memory_system.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "gpu_config.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+namespace {
+
+/** Utilization beyond which the queueing term is clamped. */
+constexpr double kMaxUtilization = 0.95;
+
+} // namespace
+
+MemorySystem::MemorySystem(const GpuConfig &cfg)
+    : peak_bw_(cfg.effectiveDramBw()),
+      unloaded_latency_s_(cfg.dram_latency_ns * 1e-9)
+{
+    panic_if(peak_bw_ <= 0, "memory system with zero bandwidth");
+}
+
+DramState
+MemorySystem::evaluate(double demand_bw) const
+{
+    panic_if(demand_bw < 0, "negative bandwidth demand %g", demand_bw);
+
+    DramState state;
+    state.peak_bw = peak_bw_;
+    state.achieved_bw = std::min(demand_bw, peak_bw_);
+    state.utilization =
+        std::min(state.achieved_bw / peak_bw_, kMaxUtilization);
+
+    // M/D/1-flavoured latency inflation: service time is amortized
+    // into the bandwidth term; waiting time scales the unloaded
+    // latency by rho / (2 (1 - rho)).
+    const double rho = state.utilization;
+    const double queue_factor = 1.0 + rho / (2.0 * (1.0 - rho));
+    state.loaded_latency_s = unloaded_latency_s_ * queue_factor;
+    return state;
+}
+
+double
+MemorySystem::unloadedLatency() const
+{
+    return unloaded_latency_s_;
+}
+
+double
+MemorySystem::peakBandwidth() const
+{
+    return peak_bw_;
+}
+
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DRAM subsystem model: achievable bandwidth and loaded latency.
+ *
+ * Bandwidth scales linearly with the memory clock (the paper's 8.3x
+ * knob).  Loaded latency follows an M/D/1-style queueing inflation:
+ * as demanded bandwidth approaches the sustainable peak, the average
+ * access latency grows sharply.  The latency component is what makes
+ * low-occupancy kernels plateau: they cannot queue enough requests to
+ * saturate the interface, so their runtime is governed by (mostly
+ * clock-invariant) access latency rather than bandwidth.
+ */
+
+#ifndef GPUSCALE_GPU_MEMORY_SYSTEM_HH
+#define GPUSCALE_GPU_MEMORY_SYSTEM_HH
+
+namespace gpuscale {
+namespace gpu {
+
+struct GpuConfig;
+
+/** Snapshot of the DRAM model for a given demand level. */
+struct DramState {
+    /** Sustainable bandwidth (bytes/s) at this configuration. */
+    double peak_bw = 0.0;
+
+    /** Bandwidth actually delivered to the workload (bytes/s). */
+    double achieved_bw = 0.0;
+
+    /** Utilization = achieved / peak, in [0, 1). */
+    double utilization = 0.0;
+
+    /** Average loaded access latency in seconds. */
+    double loaded_latency_s = 0.0;
+};
+
+/**
+ * DRAM interface model.
+ *
+ * Stateless aside from the configuration; evaluate() maps a bandwidth
+ * demand to the achieved bandwidth and loaded latency.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const GpuConfig &cfg);
+
+    /**
+     * Evaluate the interface under a demand.
+     *
+     * @param demand_bw bytes/s the workload would consume if the
+     *        interface were infinitely fast.
+     * @return achieved bandwidth (capped at the sustainable peak) and
+     *         the queueing-inflated average latency.
+     */
+    DramState evaluate(double demand_bw) const;
+
+    /** Unloaded access latency in seconds (clock invariant). */
+    double unloadedLatency() const;
+
+    /** Sustainable peak bandwidth in bytes/s. */
+    double peakBandwidth() const;
+
+  private:
+    double peak_bw_;
+    double unloaded_latency_s_;
+};
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_MEMORY_SYSTEM_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Occupancy model implementation.
+ */
+
+#include "occupancy.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "gpu_config.hh"
+#include "kernel_desc.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+double
+Occupancy::waveSlotFraction(const GpuConfig &cfg) const
+{
+    return static_cast<double>(waves_per_cu) /
+           static_cast<double>(cfg.maxWavesPerCu());
+}
+
+Occupancy
+computeOccupancy(const KernelDesc &kernel, const GpuConfig &cfg)
+{
+    const int waves_per_wg = kernel.wavesPerWg(cfg);
+
+    // Wavefront-slot limit: each SIMD holds max_waves_per_simd waves;
+    // a workgroup's waves are distributed across the CU's SIMDs.
+    const int wg_by_waves = cfg.maxWavesPerCu() / waves_per_wg;
+
+    // Hardware workgroup-slot limit.
+    const int wg_by_slots = cfg.max_wgs_per_cu;
+
+    // Register-file limit: waves per SIMD with this register demand,
+    // times SIMDs, divided by waves per workgroup.
+    const int waves_per_simd_by_regs =
+        std::min(cfg.max_waves_per_simd, cfg.vgprs_per_simd / kernel.vgprs);
+    fatal_if(waves_per_simd_by_regs < 1,
+             "%s: %d vgprs/work-item exceeds the register file",
+             kernel.name.c_str(), kernel.vgprs);
+    const int wg_by_regs =
+        waves_per_simd_by_regs * cfg.simds_per_cu / waves_per_wg;
+
+    // LDS limit.
+    int wg_by_lds = wg_by_slots;
+    if (kernel.lds_bytes_per_wg > 0) {
+        fatal_if(kernel.lds_bytes_per_wg > cfg.lds_bytes_per_cu,
+                 "%s: workgroup LDS demand %.0f exceeds the CU's %d bytes",
+                 kernel.name.c_str(), kernel.lds_bytes_per_wg,
+                 cfg.lds_bytes_per_cu);
+        wg_by_lds = static_cast<int>(
+            static_cast<double>(cfg.lds_bytes_per_cu) /
+            kernel.lds_bytes_per_wg);
+    }
+
+    fatal_if(wg_by_waves < 1,
+             "%s: a single workgroup (%d waves) exceeds the CU's %d "
+             "wavefront slots",
+             kernel.name.c_str(), waves_per_wg, cfg.maxWavesPerCu());
+
+    Occupancy occ;
+    occ.wgs_per_cu = std::min({wg_by_waves, wg_by_slots, wg_by_regs,
+                               wg_by_lds});
+    fatal_if(occ.wgs_per_cu < 1,
+             "%s: a single workgroup exceeds the CU's resources "
+             "(waves %d, slots %d, regs %d, lds %d)",
+             kernel.name.c_str(), wg_by_waves, wg_by_slots, wg_by_regs,
+             wg_by_lds);
+
+    if (occ.wgs_per_cu == wg_by_waves)
+        occ.limiter = OccupancyLimiter::WavefrontSlots;
+    if (occ.wgs_per_cu == wg_by_regs && wg_by_regs < wg_by_waves)
+        occ.limiter = OccupancyLimiter::Registers;
+    if (occ.wgs_per_cu == wg_by_lds && wg_by_lds < wg_by_regs &&
+        wg_by_lds < wg_by_waves) {
+        occ.limiter = OccupancyLimiter::Lds;
+    }
+    if (occ.wgs_per_cu == wg_by_slots && wg_by_slots < wg_by_waves &&
+        wg_by_slots < wg_by_regs && wg_by_lds >= wg_by_slots) {
+        occ.limiter = OccupancyLimiter::WorkgroupSlots;
+    }
+
+    occ.waves_per_cu = occ.wgs_per_cu * waves_per_wg;
+
+    const int64_t machine_capacity =
+        static_cast<int64_t>(occ.wgs_per_cu) * cfg.num_cus;
+    occ.active_wgs = std::min<int64_t>(machine_capacity,
+                                       kernel.num_workgroups);
+    occ.active_waves = occ.active_wgs * waves_per_wg;
+    if (kernel.num_workgroups < machine_capacity)
+        occ.limiter = OccupancyLimiter::LaunchSize;
+
+    occ.used_cus = static_cast<int>(
+        std::min<int64_t>(cfg.num_cus, kernel.num_workgroups));
+
+    return occ;
+}
+
+std::string
+limiterName(OccupancyLimiter limiter)
+{
+    switch (limiter) {
+      case OccupancyLimiter::WavefrontSlots: return "wave-slots";
+      case OccupancyLimiter::WorkgroupSlots: return "wg-slots";
+      case OccupancyLimiter::Registers:      return "registers";
+      case OccupancyLimiter::Lds:            return "lds";
+      case OccupancyLimiter::LaunchSize:     return "launch-size";
+    }
+    panic("unknown occupancy limiter %d", static_cast<int>(limiter));
+}
+
+} // namespace gpu
+} // namespace gpuscale

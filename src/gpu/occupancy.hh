@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Occupancy model: how many workgroups/wavefronts a CU can hold.
+ *
+ * Occupancy is the binding constraint behind several taxonomy classes:
+ * latency-bound kernels are those whose occupancy is too low to hide
+ * memory latency, and parallelism-starved kernels are those whose
+ * launch has too few workgroups to fill a large GPU at any occupancy.
+ */
+
+#ifndef GPUSCALE_GPU_OCCUPANCY_HH
+#define GPUSCALE_GPU_OCCUPANCY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpuscale {
+namespace gpu {
+
+struct GpuConfig;
+struct KernelDesc;
+
+/** Which resource bounds the per-CU occupancy. */
+enum class OccupancyLimiter {
+    WavefrontSlots,
+    WorkgroupSlots,
+    Registers,
+    Lds,
+    LaunchSize, ///< fewer workgroups than the machine can hold
+};
+
+/** Resolved occupancy for one (kernel, config) pair. */
+struct Occupancy {
+    /** Workgroups resident per CU (>= 1 whenever the kernel fits). */
+    int wgs_per_cu = 0;
+
+    /** Wavefronts resident per CU. */
+    int waves_per_cu = 0;
+
+    /** Workgroups actually resident machine-wide (launch-capped). */
+    int64_t active_wgs = 0;
+
+    /** Wavefronts actually resident machine-wide. */
+    int64_t active_waves = 0;
+
+    /** CUs with at least one workgroup. */
+    int used_cus = 0;
+
+    /** The binding constraint. */
+    OccupancyLimiter limiter = OccupancyLimiter::WavefrontSlots;
+
+    /** Residency as a fraction of the wavefront-slot ceiling, [0,1]. */
+    double waveSlotFraction(const GpuConfig &cfg) const;
+};
+
+/**
+ * Compute occupancy for a kernel on a configuration.
+ *
+ * fatal()s if the kernel cannot fit at all (e.g., LDS request larger
+ * than a CU's LDS), matching runtime behaviour of a real driver.
+ */
+Occupancy computeOccupancy(const KernelDesc &kernel, const GpuConfig &cfg);
+
+/** Human-readable limiter name. */
+std::string limiterName(OccupancyLimiter limiter);
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_OCCUPANCY_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Abstract timing-model interface.
+ *
+ * Two implementations exist: AnalyticModel (fast interval analysis,
+ * used for the 267-kernel x 891-config sweeps) and EventModel
+ * (wavefront-granularity discrete-event simulation, used to validate
+ * the analytic model's shapes).  The taxonomy engine is written
+ * against this interface, so it is oblivious to which fidelity — or a
+ * real GPU — produced the measurements.
+ */
+
+#ifndef GPUSCALE_GPU_PERF_MODEL_HH
+#define GPUSCALE_GPU_PERF_MODEL_HH
+
+#include <string>
+
+#include "perf_result.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+struct GpuConfig;
+struct KernelDesc;
+
+/** Interface implemented by every timing model. */
+class PerfModel
+{
+  public:
+    virtual ~PerfModel() = default;
+
+    /**
+     * Estimate the runtime of one kernel on one configuration.
+     *
+     * Both arguments are validated; a malformed kernel or
+     * configuration is a fatal() user error.
+     */
+    virtual KernelPerf estimate(const KernelDesc &kernel,
+                                const GpuConfig &cfg) const = 0;
+
+    /** Model name for reports ("analytic", "event"). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_PERF_MODEL_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Power model implementation.
+ */
+
+#include "power_model.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "gpu_config.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+PowerModel::PowerModel(PowerParams params)
+    : params_(params)
+{
+    fatal_if(params_.f_max_mhz <= params_.f_min_mhz,
+             "power model: inverted DVFS frequency range");
+    fatal_if(params_.v_max < params_.v_min,
+             "power model: inverted voltage range");
+    fatal_if(params_.idle_activity < 0 || params_.idle_activity > 1,
+             "power model: idle activity %f outside [0, 1]",
+             params_.idle_activity);
+}
+
+double
+PowerModel::voltage(double f_mhz) const
+{
+    const double t = std::clamp(
+        (f_mhz - params_.f_min_mhz) /
+            (params_.f_max_mhz - params_.f_min_mhz),
+        0.0, 1.0);
+    return params_.v_min + t * (params_.v_max - params_.v_min);
+}
+
+PowerResult
+PowerModel::evaluate(const GpuConfig &cfg, const KernelPerf &perf) const
+{
+    PowerResult out;
+
+    const double v = voltage(cfg.core_clk_mhz);
+    const double f_ghz = cfg.core_clk_mhz / 1000.0;
+
+    // Compute activity: how busy the SIMDs are relative to the
+    // runtime.  A launch-bound or memory-bound kernel leaves the
+    // array near idle.
+    double activity = params_.idle_activity;
+    if (perf.kernel_time_s > 0) {
+        activity = std::clamp(
+            perf.t_compute / perf.kernel_time_s, params_.idle_activity,
+            1.0);
+    }
+
+    out.core_dynamic_w = params_.dyn_watts_per_cu * cfg.num_cus *
+                         f_ghz * v * v * activity;
+    out.core_static_w =
+        params_.static_watts_per_cu * cfg.num_cus * v;
+    out.memory_w =
+        params_.mem_watts_per_ghz * cfg.mem_clk_mhz / 1000.0 +
+        params_.mem_active_watts * perf.dram_utilization;
+    out.base_w = params_.base_watts;
+
+    out.total_w = out.core_dynamic_w + out.core_static_w +
+                  out.memory_w + out.base_w;
+    out.energy_j = out.total_w * perf.time_s;
+    out.edp = out.energy_j * perf.time_s;
+    out.perf_per_watt =
+        perf.time_s > 0 ? 1.0 / (perf.time_s * out.total_w) : 0.0;
+    return out;
+}
+
+} // namespace gpu
+} // namespace gpuscale

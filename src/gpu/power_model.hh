@@ -1,0 +1,115 @@
+/**
+ * @file
+ * GPU power and energy model.
+ *
+ * The scaling study's sponsors cared about performance *per watt*:
+ * the same three knobs trade performance against power, and the
+ * taxonomy says which trades pay off for which kernels (a
+ * memory-bound kernel wastes the power of extra CUs and core
+ * megahertz; a launch-bound kernel wastes everything).  This module
+ * extends the reproduction toward that use.
+ *
+ * Model (standard CMOS scaling):
+ *  - core dynamic power:  C_cu x num_cus x f_core x V(f_core)^2,
+ *    scaled by the kernel's compute activity;
+ *  - core static power:   leakage per CU x num_cus x V(f_core);
+ *  - memory power:        interface + DRAM activity, linear in the
+ *    memory clock and in achieved bandwidth utilization;
+ *  - base board power:    constant.
+ *
+ * V(f) is a linear voltage/frequency curve between (f_min, v_min) and
+ * (f_max, v_max), matching how real parts ship DVFS tables.
+ */
+
+#ifndef GPUSCALE_GPU_POWER_MODEL_HH
+#define GPUSCALE_GPU_POWER_MODEL_HH
+
+#include "perf_result.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+struct GpuConfig;
+struct KernelDesc;
+
+/** Voltage/frequency curve and component coefficients. */
+struct PowerParams {
+    /** Frequency endpoints of the DVFS range, MHz. */
+    double f_min_mhz = 200.0;
+    double f_max_mhz = 1000.0;
+
+    /** Core voltage at the endpoints, volts. */
+    double v_min = 0.80;
+    double v_max = 1.20;
+
+    /**
+     * Dynamic switching coefficient per CU: watts at 1 GHz and 1 V
+     * with full activity.
+     */
+    double dyn_watts_per_cu = 2.4;
+
+    /** Leakage per CU at 1 V, watts. */
+    double static_watts_per_cu = 0.9;
+
+    /** Memory interface watts per GHz of memory clock. */
+    double mem_watts_per_ghz = 24.0;
+
+    /** Extra DRAM activity watts at full bandwidth utilization. */
+    double mem_active_watts = 18.0;
+
+    /** Constant board power (fans, VRM loss, display), watts. */
+    double base_watts = 12.0;
+
+    /** Floor on modelled compute activity in [0, 1]. */
+    double idle_activity = 0.10;
+};
+
+/** Power/energy estimate for one kernel run on one configuration. */
+struct PowerResult {
+    double core_dynamic_w = 0.0;
+    double core_static_w = 0.0;
+    double memory_w = 0.0;
+    double base_w = 0.0;
+
+    /** Sum of the components. */
+    double total_w = 0.0;
+
+    /** total_w x runtime. */
+    double energy_j = 0.0;
+
+    /** Energy-delay product, J*s. */
+    double edp = 0.0;
+
+    /** Work rate per watt: 1 / (time_s x total_w). */
+    double perf_per_watt = 0.0;
+};
+
+/** The power model. */
+class PowerModel
+{
+  public:
+    PowerModel() = default;
+    explicit PowerModel(PowerParams params);
+
+    /**
+     * Estimate power for a run whose timing is already known.
+     *
+     * @param cfg the configuration the run used.
+     * @param perf the timing result from a PerfModel.
+     */
+    PowerResult evaluate(const GpuConfig &cfg,
+                         const KernelPerf &perf) const;
+
+    /** Core voltage at a frequency (linear DVFS curve, clamped). */
+    double voltage(double f_mhz) const;
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_POWER_MODEL_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PipeResource implementation.
+ */
+
+#include "resource.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace timing {
+
+PipeResource::PipeResource(std::string name, double rate)
+    : name_(std::move(name)), rate_(rate)
+{
+    panic_if(rate_ <= 0, "resource '%s' with non-positive rate %g",
+             name_.c_str(), rate_);
+}
+
+double
+PipeResource::serve(double now, double work)
+{
+    panic_if(work < 0, "resource '%s': negative work %g",
+             name_.c_str(), work);
+    panic_if(now < 0, "resource '%s': negative arrival time %g",
+             name_.c_str(), now);
+
+    const double start = std::max(now, next_free_);
+    const double service = work / rate_;
+    next_free_ = start + service;
+    total_work_ += work;
+    busy_time_ += service;
+    return next_free_;
+}
+
+double
+PipeResource::utilization(double makespan) const
+{
+    return makespan > 0 ? std::min(1.0, busy_time_ / makespan) : 0.0;
+}
+
+void
+PipeResource::reset()
+{
+    next_free_ = 0.0;
+    total_work_ = 0.0;
+    busy_time_ = 0.0;
+}
+
+} // namespace timing
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bandwidth-server resources for the discrete-event timing model.
+ *
+ * A PipeResource is a work-conserving FIFO server: requests arrive
+ * with a size in "work units" (bytes, SIMD-cycles, operations) and the
+ * server drains them at a fixed rate.  Completion time for a request
+ * arriving at `now` is max(now, next_free) + work / rate.  This is the
+ * classic building block for interval-style GPU simulators: it gives
+ * queueing delay and bandwidth saturation without modelling individual
+ * bank conflicts.
+ */
+
+#ifndef GPUSCALE_GPU_TIMING_RESOURCE_HH
+#define GPUSCALE_GPU_TIMING_RESOURCE_HH
+
+#include <string>
+
+namespace gpuscale {
+namespace gpu {
+namespace timing {
+
+/** A rate-limited FIFO server. */
+class PipeResource
+{
+  public:
+    /**
+     * @param name resource name for stats.
+     * @param rate work units served per second; must be > 0.
+     */
+    PipeResource(std::string name, double rate);
+
+    /**
+     * Enqueue a request.
+     *
+     * @param now arrival time in seconds.
+     * @param work request size in work units (>= 0).
+     * @return completion time in seconds.
+     */
+    double serve(double now, double work);
+
+    /** Earliest time a new request could start service. */
+    double nextFree() const { return next_free_; }
+
+    /** Total work served so far. */
+    double totalWork() const { return total_work_; }
+
+    /** Busy time accumulated so far (work / rate). */
+    double busyTime() const { return busy_time_; }
+
+    /** Utilization given the observed makespan. */
+    double utilization(double makespan) const;
+
+    const std::string &name() const { return name_; }
+    double rate() const { return rate_; }
+
+    /** Return to the just-constructed state. */
+    void reset();
+
+  private:
+    std::string name_;
+    double rate_;
+    double next_free_ = 0.0;
+    double total_work_ = 0.0;
+    double busy_time_ = 0.0;
+};
+
+} // namespace timing
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_TIMING_RESOURCE_HH

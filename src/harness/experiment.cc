@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Experiment driver implementation.
+ */
+
+#include "experiment.hh"
+
+#include <map>
+
+#include "workloads/registry.hh"
+
+namespace gpuscale {
+namespace harness {
+
+CensusResult
+runCensus(const gpu::PerfModel &model,
+          std::optional<scaling::ConfigSpace> space,
+          const scaling::TaxonomyParams &params)
+{
+    CensusResult census{
+        space.value_or(scaling::ConfigSpace::paperGrid()), {}, {}};
+
+    const auto kernels = workloads::WorkloadRegistry::instance()
+                             .allKernels();
+    census.surfaces = sweepKernels(model, kernels, census.space);
+    census.classifications =
+        scaling::classifyAll(census.surfaces, params);
+    return census;
+}
+
+std::vector<const scaling::KernelClassification *>
+representativesPerClass(const CensusResult &census)
+{
+    std::map<scaling::TaxonomyClass,
+             const scaling::KernelClassification *> best;
+    for (const auto &c : census.classifications) {
+        auto it = best.find(c.cls);
+        if (it == best.end() || c.perf_range > it->second->perf_range)
+            best[c.cls] = &c;
+    }
+
+    std::vector<const scaling::KernelClassification *> out;
+    for (const auto cls : scaling::allTaxonomyClasses()) {
+        auto it = best.find(cls);
+        if (it != best.end())
+            out.push_back(it->second);
+    }
+    return out;
+}
+
+const scaling::KernelClassification *
+findClassification(const CensusResult &census, const std::string &kernel)
+{
+    for (const auto &c : census.classifications) {
+        if (c.kernel == kernel)
+            return &c;
+    }
+    return nullptr;
+}
+
+const scaling::ScalingSurface *
+findSurface(const CensusResult &census, const std::string &kernel)
+{
+    for (const auto &surface : census.surfaces) {
+        if (surface.kernelName() == kernel)
+            return &surface;
+    }
+    return nullptr;
+}
+
+} // namespace harness
+} // namespace gpuscale

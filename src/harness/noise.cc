@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NoisyModel implementation.
+ */
+
+#include "noise.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_desc.hh"
+
+namespace gpuscale {
+namespace harness {
+
+namespace {
+
+uint64_t
+hashString(const std::string &s, uint64_t h)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+NoisyModel::NoisyModel(const gpu::PerfModel &inner, double sigma,
+                       uint64_t seed)
+    : inner_(inner), sigma_(sigma), seed_(seed)
+{
+    fatal_if(sigma < 0, "negative noise sigma %f", sigma);
+}
+
+gpu::KernelPerf
+NoisyModel::estimate(const gpu::KernelDesc &kernel,
+                     const gpu::GpuConfig &cfg) const
+{
+    gpu::KernelPerf perf = inner_.estimate(kernel, cfg);
+    if (sigma_ == 0.0)
+        return perf;
+
+    uint64_t h = hashString(kernel.name, 0xcbf29ce484222325ull ^ seed_);
+    h = hashString(cfg.id(), h);
+    Rng rng(h);
+    const double factor = std::exp(rng.normal(0.0, sigma_));
+    perf.time_s *= factor;
+    perf.kernel_time_s *= factor;
+    return perf;
+}
+
+std::string
+NoisyModel::name() const
+{
+    return inner_.name() + strprintf("+noise(%.3f)", sigma_);
+}
+
+} // namespace harness
+} // namespace gpuscale

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Measurement-noise injection.
+ *
+ * Real scaling studies time kernels on hardware, where run-to-run
+ * variation (clock ramping, OS interference, DVFS residue) perturbs
+ * every sample.  NoisyModel decorates any PerfModel with
+ * deterministic, per-(kernel, configuration) multiplicative lognormal
+ * noise so the robustness of the taxonomy to measurement error can be
+ * studied (experiment A4) and the Irregular class exercised end to
+ * end.
+ */
+
+#ifndef GPUSCALE_HARNESS_NOISE_HH
+#define GPUSCALE_HARNESS_NOISE_HH
+
+#include <cstdint>
+
+#include "gpu/perf_model.hh"
+
+namespace gpuscale {
+namespace harness {
+
+/** A PerfModel decorator adding multiplicative lognormal noise. */
+class NoisyModel : public gpu::PerfModel
+{
+  public:
+    /**
+     * @param inner the model to perturb (not owned; must outlive
+     *        this object).
+     * @param sigma standard deviation of log-runtime noise; 0.01 is a
+     *        well-controlled testbed, 0.05 a noisy shared machine.
+     * @param seed noise stream seed; the same (kernel, config, seed)
+     *        always yields the same perturbation, so noisy sweeps are
+     *        reproducible.
+     */
+    NoisyModel(const gpu::PerfModel &inner, double sigma,
+               uint64_t seed = 1);
+
+    gpu::KernelPerf estimate(const gpu::KernelDesc &kernel,
+                             const gpu::GpuConfig &cfg) const override;
+
+    std::string name() const override;
+
+    double sigma() const { return sigma_; }
+
+  private:
+    const gpu::PerfModel &inner_;
+    double sigma_;
+    uint64_t seed_;
+};
+
+} // namespace harness
+} // namespace gpuscale
+
+#endif // GPUSCALE_HARNESS_NOISE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * parallelFor implementation.
+ */
+
+#include "parallel.hh"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gpuscale {
+namespace harness {
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            unsigned max_threads)
+{
+    if (n == 0)
+        return;
+
+    unsigned workers = max_threads != 0
+                           ? max_threads
+                           : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    workers = static_cast<unsigned>(
+        std::min<size_t>(workers, n));
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        threads.emplace_back([&]() {
+            while (true) {
+                const size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+} // namespace harness
+} // namespace gpuscale

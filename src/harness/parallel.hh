@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal data-parallel helper for sweeps.
+ *
+ * parallelFor() partitions [0, n) across worker threads.  The work
+ * function must be safe to call concurrently on distinct indices;
+ * results should be written to pre-sized per-index slots.  On a
+ * single-core host this degrades to a plain loop.
+ */
+
+#ifndef GPUSCALE_HARNESS_PARALLEL_HH
+#define GPUSCALE_HARNESS_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace gpuscale {
+namespace harness {
+
+/**
+ * Run fn(i) for every i in [0, n), using up to max_threads workers
+ * (0 = hardware concurrency).
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned max_threads = 0);
+
+} // namespace harness
+} // namespace gpuscale
+
+#endif // GPUSCALE_HARNESS_PARALLEL_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Sweep harness implementation.
+ */
+
+#include "sweep.hh"
+
+#include "base/logging.hh"
+#include "gpu/kernel_desc.hh"
+#include "parallel.hh"
+
+namespace gpuscale {
+namespace harness {
+
+scaling::ScalingSurface
+sweepKernel(const gpu::PerfModel &model, const gpu::KernelDesc &kernel,
+            const scaling::ConfigSpace &space)
+{
+    std::vector<double> runtimes(space.size());
+    for (size_t i = 0; i < space.size(); ++i)
+        runtimes[i] = model.estimate(kernel, space.at(i)).time_s;
+    return scaling::ScalingSurface(kernel.name, space,
+                                   std::move(runtimes));
+}
+
+std::vector<scaling::ScalingSurface>
+sweepKernels(const gpu::PerfModel &model,
+             const std::vector<const gpu::KernelDesc *> &kernels,
+             const scaling::ConfigSpace &space)
+{
+    for (const auto *kernel : kernels)
+        panic_if(kernel == nullptr, "sweepKernels: null kernel");
+
+    // Build surfaces into pre-sized slots so workers never contend.
+    std::vector<std::vector<double>> runtimes(kernels.size());
+    parallelFor(kernels.size(), [&](size_t k) {
+        std::vector<double> rts(space.size());
+        for (size_t i = 0; i < space.size(); ++i)
+            rts[i] = model.estimate(*kernels[k], space.at(i)).time_s;
+        runtimes[k] = std::move(rts);
+    });
+
+    std::vector<scaling::ScalingSurface> surfaces;
+    surfaces.reserve(kernels.size());
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        surfaces.emplace_back(kernels[k]->name, space,
+                              std::move(runtimes[k]));
+    }
+    return surfaces;
+}
+
+} // namespace harness
+} // namespace gpuscale

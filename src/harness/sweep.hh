@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Sweep harness: measure kernels across the configuration grid.
+ *
+ * This is the code a real study runs against hardware; here the
+ * "measurement" is a PerfModel::estimate() call, so the same harness
+ * drives either fidelity.
+ */
+
+#ifndef GPUSCALE_HARNESS_SWEEP_HH
+#define GPUSCALE_HARNESS_SWEEP_HH
+
+#include <vector>
+
+#include "gpu/perf_model.hh"
+#include "scaling/config_space.hh"
+#include "scaling/surface.hh"
+
+namespace gpuscale {
+namespace harness {
+
+/**
+ * Measure one kernel at every grid point.
+ *
+ * @return the kernel's scaling surface.
+ */
+scaling::ScalingSurface sweepKernel(const gpu::PerfModel &model,
+                                    const gpu::KernelDesc &kernel,
+                                    const scaling::ConfigSpace &space);
+
+/**
+ * Measure a batch of kernels; kernels are distributed across worker
+ * threads (each (kernel, config) estimate is independent).
+ *
+ * @param kernels non-owning kernel pointers; all non-null.
+ */
+std::vector<scaling::ScalingSurface> sweepKernels(
+    const gpu::PerfModel &model,
+    const std::vector<const gpu::KernelDesc *> &kernels,
+    const scaling::ConfigSpace &space);
+
+} // namespace harness
+} // namespace gpuscale
+
+#endif // GPUSCALE_HARNESS_SWEEP_HH

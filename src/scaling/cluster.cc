@@ -1,0 +1,221 @@
+/**
+ * @file
+ * k-means and agreement-metric implementation.
+ */
+
+#include "cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+#include "base/random.hh"
+
+namespace gpuscale {
+namespace scaling {
+
+std::vector<double>
+scalingFeatureVector(const ScalingSurface &surface)
+{
+    std::vector<double> features;
+    for (const auto &curve : {surface.cuCurveAtMax(),
+                              surface.freqCurveAtMax(),
+                              surface.memCurveAtMax()}) {
+        const std::vector<double> norm = normalizeToFirst(curve);
+        features.insert(features.end(), norm.begin(), norm.end());
+    }
+    return features;
+}
+
+namespace {
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+}
+
+} // namespace
+
+ClusterResult
+kmeans(const std::vector<std::vector<double>> &vectors, int k,
+       uint64_t seed, int max_iters)
+{
+    fatal_if(k < 1, "kmeans: k must be >= 1");
+    fatal_if(vectors.size() < static_cast<size_t>(k),
+             "kmeans: %zu vectors for k=%d", vectors.size(), k);
+    const size_t dim = vectors.front().size();
+    for (const auto &v : vectors) {
+        fatal_if(v.size() != dim,
+                 "kmeans: inconsistent vector dimensions");
+    }
+
+    Rng rng(seed);
+    ClusterResult result;
+    result.centroids.reserve(static_cast<size_t>(k));
+
+    // k-means++ seeding.
+    result.centroids.push_back(
+        vectors[static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(vectors.size()) - 1))]);
+    std::vector<double> min_d2(vectors.size(),
+                               std::numeric_limits<double>::max());
+    while (result.centroids.size() < static_cast<size_t>(k)) {
+        double total = 0;
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            min_d2[i] = std::min(
+                min_d2[i], sqDist(vectors[i], result.centroids.back()));
+            total += min_d2[i];
+        }
+        // Sample proportionally to squared distance.
+        double target = rng.uniform() * total;
+        size_t pick = vectors.size() - 1;
+        double acc = 0;
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            acc += min_d2[i];
+            if (acc >= target) {
+                pick = i;
+                break;
+            }
+        }
+        result.centroids.push_back(vectors[pick]);
+    }
+
+    result.assignment.assign(vectors.size(), 0);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        result.iterations = iter + 1;
+        bool changed = false;
+
+        // Assignment step.
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            int best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (int c = 0; c < k; ++c) {
+                const double d =
+                    sqDist(vectors[i],
+                           result.centroids[static_cast<size_t>(c)]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update step.
+        std::vector<std::vector<double>> sums(
+            static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+        std::vector<size_t> counts(static_cast<size_t>(k), 0);
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            const auto c = static_cast<size_t>(result.assignment[i]);
+            ++counts[c];
+            for (size_t d = 0; d < dim; ++d)
+                sums[c][d] += vectors[i][d];
+        }
+        for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster at a random point.
+                result.centroids[c] = vectors[static_cast<size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<int64_t>(vectors.size()) -
+                                       1))];
+                changed = true;
+                continue;
+            }
+            for (size_t d = 0; d < dim; ++d) {
+                result.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+            }
+        }
+
+        if (!changed)
+            break;
+    }
+
+    result.inertia = 0;
+    for (size_t i = 0; i < vectors.size(); ++i) {
+        result.inertia += sqDist(
+            vectors[i],
+            result.centroids[static_cast<size_t>(result.assignment[i])]);
+    }
+    return result;
+}
+
+double
+clusterPurity(const std::vector<int> &assignment,
+              const std::vector<KernelClassification> &labels)
+{
+    fatal_if(assignment.size() != labels.size(),
+             "clusterPurity: %zu assignments vs %zu labels",
+             assignment.size(), labels.size());
+    if (assignment.empty())
+        return 1.0;
+
+    // cluster -> class -> count
+    std::map<int, std::map<int, size_t>> table;
+    for (size_t i = 0; i < assignment.size(); ++i)
+        ++table[assignment[i]][static_cast<int>(labels[i].cls)];
+
+    size_t agree = 0;
+    for (const auto &[cluster, counts] : table) {
+        size_t best = 0;
+        for (const auto &[cls, count] : counts)
+            best = std::max(best, count);
+        agree += best;
+    }
+    return static_cast<double>(agree) /
+           static_cast<double>(assignment.size());
+}
+
+double
+adjustedRandIndex(const std::vector<int> &assignment,
+                  const std::vector<KernelClassification> &labels)
+{
+    fatal_if(assignment.size() != labels.size(),
+             "adjustedRandIndex: size mismatch");
+    const size_t n = assignment.size();
+    if (n < 2)
+        return 1.0;
+
+    std::map<std::pair<int, int>, double> joint;
+    std::map<int, double> row_sum;
+    std::map<int, double> col_sum;
+    for (size_t i = 0; i < n; ++i) {
+        const int a = assignment[i];
+        const int b = static_cast<int>(labels[i].cls);
+        joint[{a, b}] += 1;
+        row_sum[a] += 1;
+        col_sum[b] += 1;
+    }
+
+    auto choose2 = [](double m) { return m * (m - 1.0) / 2.0; };
+
+    double sum_joint = 0;
+    for (const auto &[key, count] : joint)
+        sum_joint += choose2(count);
+    double sum_rows = 0;
+    for (const auto &[key, count] : row_sum)
+        sum_rows += choose2(count);
+    double sum_cols = 0;
+    for (const auto &[key, count] : col_sum)
+        sum_cols += choose2(count);
+
+    const double total = choose2(static_cast<double>(n));
+    const double expected = sum_rows * sum_cols / total;
+    const double max_index = 0.5 * (sum_rows + sum_cols);
+    if (std::abs(max_index - expected) < 1e-12)
+        return 1.0;
+    return (sum_joint - expected) / (max_index - expected);
+}
+
+} // namespace scaling
+} // namespace gpuscale

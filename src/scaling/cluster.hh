@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Data-driven clustering of scaling behaviour.
+ *
+ * As a cross-check on the hand-built decision tree, kernels can be
+ * clustered directly on their normalized scaling vectors (the
+ * concatenated CU / core-clock / memory-clock curves, each normalized
+ * to its first point).  If the taxonomy is real structure rather than
+ * threshold artefacts, unsupervised clusters should align with the
+ * assigned classes — experiment F7 measures that alignment.
+ */
+
+#ifndef GPUSCALE_SCALING_CLUSTER_HH
+#define GPUSCALE_SCALING_CLUSTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "surface.hh"
+#include "taxonomy.hh"
+
+namespace gpuscale {
+namespace scaling {
+
+/** The feature vector clustering operates on. */
+std::vector<double> scalingFeatureVector(const ScalingSurface &surface);
+
+/** Result of one k-means run. */
+struct ClusterResult {
+    /** Cluster index per input vector. */
+    std::vector<int> assignment;
+
+    /** Cluster centroids, row-major k x dim. */
+    std::vector<std::vector<double>> centroids;
+
+    /** Sum of squared distances to assigned centroids. */
+    double inertia = 0.0;
+
+    /** Iterations executed before convergence (or the cap). */
+    int iterations = 0;
+};
+
+/**
+ * Lloyd's k-means with k-means++ seeding.
+ *
+ * @param vectors input vectors; all the same dimension; size >= k.
+ * @param k cluster count (>= 1).
+ * @param seed RNG seed for the seeding step.
+ * @param max_iters iteration cap.
+ */
+ClusterResult kmeans(const std::vector<std::vector<double>> &vectors,
+                     int k, uint64_t seed = 1, int max_iters = 100);
+
+/**
+ * Cluster purity against taxonomy labels: for each cluster take its
+ * majority class and count agreement; returns agreement fraction in
+ * [0, 1].  Sizes must match.
+ */
+double clusterPurity(const std::vector<int> &assignment,
+                     const std::vector<KernelClassification> &labels);
+
+/**
+ * Adjusted Rand Index between the clustering and the taxonomy
+ * labelling; 1 = identical partitions, ~0 = random agreement.
+ */
+double adjustedRandIndex(const std::vector<int> &assignment,
+                         const std::vector<KernelClassification> &labels);
+
+} // namespace scaling
+} // namespace gpuscale
+
+#endif // GPUSCALE_SCALING_CLUSTER_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-knob curve-shape classification.
+ *
+ * A scaling curve — performance versus one hardware knob with the
+ * others fixed — is reduced to one of six shapes.  The shapes are the
+ * alphabet from which the taxonomy classes are spelled:
+ *
+ *   Linear:     performance tracks the knob ~proportionally.
+ *   Sublinear:  monotone gains, but clearly below proportional.
+ *   Plateau:    gains early, then saturates well before the knob's
+ *               end of range.
+ *   Flat:       no meaningful response to the knob.
+ *   Adverse:    performance *ends lower than it started* — more of
+ *               the resource hurts.
+ *   Irregular:  non-monotone without being adverse.
+ */
+
+#ifndef GPUSCALE_SCALING_SHAPE_HH
+#define GPUSCALE_SCALING_SHAPE_HH
+
+#include <span>
+#include <string>
+
+namespace gpuscale {
+namespace scaling {
+
+/** The shape alphabet. */
+enum class CurveShape {
+    Linear,
+    Sublinear,
+    Plateau,
+    Flat,
+    Adverse,
+    Irregular,
+};
+
+/** Thresholds steering the shape classifier. */
+struct ShapeParams {
+    /** Total gain below which a curve is Flat (e.g. 1.15 = +15%). */
+    double flat_gain = 1.15;
+
+    /**
+     * Fraction of the ideal (proportional) gain at or above which a
+     * monotone curve is Linear.
+     */
+    double linear_fraction = 0.70;
+
+    /**
+     * A curve is Adverse when its final point falls below this
+     * fraction of its own peak — the resource eventually *hurts*.
+     * Milder declines classify by their dominant knob instead.
+     */
+    double adverse_ratio = 0.85;
+
+    /** Monotone fraction under which a curve is Irregular. */
+    double monotone_fraction = 0.75;
+
+    /**
+     * A curve saturates if it reaches saturation_level of its final
+     * gain within saturation_knee of the knob range.
+     */
+    double saturation_level = 0.95;
+    double saturation_knee = 0.60;
+
+    /**
+     * Relative tolerance when comparing neighbouring samples.  Sized
+     * to absorb realistic run-to-run measurement noise (a couple of
+     * percent) so flat/plateau regions do not read as non-monotone.
+     */
+    double step_tolerance = 0.03;
+};
+
+/** The classifier's full verdict for one curve. */
+struct ShapeVerdict {
+    CurveShape shape = CurveShape::Flat;
+
+    /** perf(last) / perf(first). */
+    double total_gain = 1.0;
+
+    /** Ideal proportional gain: knob(last) / knob(first). */
+    double ideal_gain = 1.0;
+
+    /** total_gain / ideal_gain (scaling efficiency). */
+    double efficiency = 1.0;
+
+    /** Fraction of non-decreasing neighbouring steps. */
+    double monotone_fraction = 1.0;
+
+    /**
+     * Knob value at which the curve first reaches saturation_level of
+     * its maximum; equals the last knob value when it never does.
+     */
+    double saturation_knob = 0.0;
+
+    /** R^2 of the linear fit of perf against the knob. */
+    double linearity_r2 = 0.0;
+};
+
+/**
+ * Classify one scaling curve.
+ *
+ * @param knob the swept knob values (strictly increasing, size >= 3).
+ * @param perf performance at each knob value (all positive).
+ */
+ShapeVerdict classifyCurve(std::span<const double> knob,
+                           std::span<const double> perf,
+                           const ShapeParams &params = ShapeParams{});
+
+/** Human-readable shape name. */
+std::string shapeName(CurveShape shape);
+
+} // namespace scaling
+} // namespace gpuscale
+
+#endif // GPUSCALE_SCALING_SHAPE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Suite analysis implementation.
+ */
+
+#include "suite_analysis.hh"
+
+#include <map>
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+
+namespace gpuscale {
+namespace scaling {
+
+std::string
+suiteOfKernel(const std::string &kernel_name)
+{
+    const size_t slash = kernel_name.find('/');
+    return slash == std::string::npos ? kernel_name
+                                      : kernel_name.substr(0, slash);
+}
+
+std::vector<SuiteReport>
+analyzeSuites(const std::vector<KernelClassification> &classifications,
+              int max_cus)
+{
+    fatal_if(max_cus < 1, "analyzeSuites: max_cus %d", max_cus);
+
+    // Preserve first-seen suite order.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<const KernelClassification *>>
+        by_suite;
+    for (const auto &c : classifications) {
+        const std::string suite = suiteOfKernel(c.kernel);
+        if (by_suite.find(suite) == by_suite.end())
+            order.push_back(suite);
+        by_suite[suite].push_back(&c);
+    }
+
+    std::vector<SuiteReport> reports;
+    for (const auto &suite : order) {
+        const auto &members = by_suite[suite];
+        SuiteReport report;
+        report.suite = suite;
+        report.kernels = members.size();
+        report.class_counts.assign(kNumTaxonomyClasses, 0);
+
+        std::vector<double> cu90s;
+        size_t saturating = 0;
+        size_t non_scaling = 0;
+        for (const auto *c : members) {
+            ++report.class_counts[static_cast<size_t>(c->cls)];
+            cu90s.push_back(static_cast<double>(c->cu90));
+            if (c->cu90 < max_cus)
+                ++saturating;
+            if (c->cls == TaxonomyClass::ParallelismStarved ||
+                c->cls == TaxonomyClass::LaunchBound ||
+                c->cls == TaxonomyClass::CuAdverse) {
+                ++non_scaling;
+            }
+        }
+
+        report.median_cu90 = percentile(cu90s, 50.0);
+        report.p90_cu90 = percentile(cu90s, 90.0);
+        report.frac_saturating =
+            static_cast<double>(saturating) /
+            static_cast<double>(members.size());
+        report.frac_non_scaling =
+            static_cast<double>(non_scaling) /
+            static_cast<double>(members.size());
+        reports.push_back(std::move(report));
+    }
+    return reports;
+}
+
+} // namespace scaling
+} // namespace gpuscale

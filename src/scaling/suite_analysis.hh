@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-suite scalability analysis.
+ *
+ * Backs the paper's headline critique: several benchmark suites do
+ * not scale to modern GPU sizes.  For each suite we aggregate the
+ * taxonomy populations and the distribution of cu90 — the CU count at
+ * which a kernel reaches 90% of its best CU-curve performance.  A
+ * suite whose median cu90 sits far below the machine's CU count is
+ * not exercising a modern GPU.
+ */
+
+#ifndef GPUSCALE_SCALING_SUITE_ANALYSIS_HH
+#define GPUSCALE_SCALING_SUITE_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "taxonomy.hh"
+
+namespace gpuscale {
+namespace scaling {
+
+/** Aggregated scalability verdict for one suite. */
+struct SuiteReport {
+    std::string suite;
+    size_t kernels = 0;
+
+    /** Taxonomy populations indexed by TaxonomyClass value. */
+    std::vector<size_t> class_counts;
+
+    /** Median of cu90 across the suite's kernels. */
+    double median_cu90 = 0.0;
+
+    /** 90th percentile of cu90. */
+    double p90_cu90 = 0.0;
+
+    /** Fraction of kernels with cu90 strictly below max_cus. */
+    double frac_saturating = 0.0;
+
+    /**
+     * Fraction of kernels in the classes that cannot use a bigger
+     * GPU at all (ParallelismStarved, LaunchBound, CuAdverse).
+     */
+    double frac_non_scaling = 0.0;
+};
+
+/**
+ * Derive the suite name from a canonical kernel name
+ * ("suite/program/kernel" -> "suite").
+ */
+std::string suiteOfKernel(const std::string &kernel_name);
+
+/**
+ * Build per-suite reports from a batch of classifications.
+ *
+ * @param classifications one entry per kernel, canonical names.
+ * @param max_cus the largest CU setting of the studied grid.
+ */
+std::vector<SuiteReport> analyzeSuites(
+    const std::vector<KernelClassification> &classifications,
+    int max_cus);
+
+} // namespace scaling
+} // namespace gpuscale
+
+#endif // GPUSCALE_SCALING_SUITE_ANALYSIS_HH

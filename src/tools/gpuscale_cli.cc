@@ -1,0 +1,171 @@
+/**
+ * @file
+ * gpuscale — command-line front end for the toolkit.
+ *
+ * Subcommands:
+ *   census [sigma]        run the full 267x891 census (optionally
+ *                         with measurement noise) and print the
+ *                         taxonomy tables; writes
+ *                         classifications.csv to the working dir.
+ *   classify <file.csv>   classify externally measured surfaces
+ *                         (writeSurfaceCsv format — bring your own
+ *                         hardware data).
+ *   kernel <name>         show one zoo kernel's scaling curves and
+ *                         classification.
+ *   suites                print the workload inventory.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+#include "base/plot.hh"
+#include "gpu/analytic_model.hh"
+#include "harness/experiment.hh"
+#include "harness/noise.hh"
+#include "scaling/report.hh"
+#include "scaling/suite_analysis.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace gpuscale;
+
+int
+runCensusCmd(double sigma)
+{
+    const gpu::AnalyticModel inner;
+    const harness::NoisyModel noisy(inner, sigma);
+    const gpu::PerfModel &model =
+        sigma > 0 ? static_cast<const gpu::PerfModel &>(noisy)
+                  : static_cast<const gpu::PerfModel &>(inner);
+
+    inform("running census with model '%s'", model.name().c_str());
+    const auto census = harness::runCensus(model);
+
+    std::fputs(scaling::classHistogramTable(census.classifications)
+                   .render().c_str(),
+               stdout);
+    std::printf("\n");
+    std::fputs(
+        scaling::suiteBreakdownTable(
+            scaling::analyzeSuites(census.classifications, 44), 44)
+            .render().c_str(),
+        stdout);
+
+    std::ofstream os("classifications.csv");
+    fatal_if(!os, "cannot write classifications.csv");
+    scaling::writeClassificationsCsv(os, census.classifications);
+    inform("wrote classifications.csv (%zu rows)",
+           census.classifications.size());
+    return 0;
+}
+
+int
+classifyCmd(const std::string &path)
+{
+    std::ifstream is(path);
+    fatal_if(!is, "cannot read %s", path.c_str());
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+
+    const auto surfaces = scaling::readSurfacesCsv(buffer.str());
+    inform("parsed %zu surfaces on a %zu-point grid", surfaces.size(),
+           surfaces.empty() ? 0 : surfaces.front().space().size());
+
+    const auto classifications = scaling::classifyAll(surfaces);
+    std::fputs(
+        scaling::classHistogramTable(classifications).render().c_str(),
+        stdout);
+    std::printf("\nper kernel:\n");
+    for (const auto &c : classifications) {
+        std::printf("  %-50s %s\n", c.kernel.c_str(),
+                    scaling::taxonomyClassName(c.cls).c_str());
+    }
+    return 0;
+}
+
+int
+kernelCmd(const std::string &name)
+{
+    const auto *kernel =
+        workloads::WorkloadRegistry::instance().findKernel(name);
+    if (!kernel) {
+        std::fprintf(stderr,
+                     "unknown kernel '%s' (names look like "
+                     "rodinia/hotspot/calculate_temp)\n",
+                     name.c_str());
+        return 1;
+    }
+    std::printf("%s\n\n", kernel->describe().c_str());
+
+    const gpu::AnalyticModel model;
+    const auto space = scaling::ConfigSpace::paperGrid();
+    const auto surface = harness::sweepKernel(model, *kernel, space);
+    const auto cls = scaling::classifySurface(surface);
+    std::printf("classification: %s\n\n",
+                scaling::taxonomyClassName(cls.cls).c_str());
+
+    LineChart chart("scaling curves (others at max)", "knob index",
+                    "speedup");
+    chart.setSize(60, 14);
+    std::vector<double> idx9{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<double> idx11{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+    chart.addSeries({"cu", idx11,
+                     normalizeToFirst(surface.cuCurveAtMax())});
+    chart.addSeries({"freq", idx9,
+                     normalizeToFirst(surface.freqCurveAtMax())});
+    chart.addSeries({"mem", idx9,
+                     normalizeToFirst(surface.memCurveAtMax())});
+    std::printf("%s\n", chart.render().c_str());
+    return 0;
+}
+
+int
+suitesCmd()
+{
+    const auto &reg = workloads::WorkloadRegistry::instance();
+    for (const auto &row : reg.census()) {
+        std::printf("%-12s %3zu programs %4zu kernels\n",
+                    row.suite.c_str(), row.programs, row.kernels);
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: gpuscale <command>\n"
+        "  census [sigma]       full taxonomy census (+noise)\n"
+        "  classify <file.csv>  classify measured surfaces\n"
+        "  kernel <name>        inspect one zoo kernel\n"
+        "  suites               workload inventory\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "census")
+        return runCensusCmd(argc > 2 ? std::atof(argv[2]) : 0.0);
+    if (cmd == "classify" && argc > 2)
+        return classifyCmd(argv[2]);
+    if (cmd == "kernel" && argc > 2)
+        return kernelCmd(argv[2]);
+    if (cmd == "suites")
+        return suitesCmd();
+    usage();
+    return 1;
+}

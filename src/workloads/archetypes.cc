@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Archetype builder implementations.
+ *
+ * Parameter values are chosen so each archetype lands in its intended
+ * regime on the studied configuration grid (4-44 CUs, 200-1000 MHz
+ * core, 150-1250 MHz memory); see tests/workloads/test_archetypes.cc
+ * for the checks that pin these regimes down.
+ */
+
+#include "archetypes.hh"
+
+namespace gpuscale {
+namespace workloads {
+
+using gpu::KernelDesc;
+
+KernelDesc
+denseCompute(const std::string &name, const ArchetypeParams &p)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    k.valu_ops = 1800.0 * p.intensity;
+    k.sfu_ops = 20.0 * p.intensity;
+    k.mem_loads = 6.0;
+    k.mem_stores = 1.0;
+    k.bytes_per_access = 4.0;
+    k.coalescing = 1.0;
+    k.vgprs = 64;
+    k.l1_reuse = 0.75;
+    k.l2_reuse = 0.60;
+    k.footprint_bytes_per_wg = 12.0 * 1024;
+    k.mlp = 6.0;
+    k.host_overhead_us = 9.0;
+    return k;
+}
+
+KernelDesc
+streaming(const std::string &name, const ArchetypeParams &p)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    k.valu_ops = 24.0 * p.intensity;
+    k.mem_loads = 8.0;
+    k.mem_stores = 4.0;
+    k.bytes_per_access = 4.0;
+    k.coalescing = 1.0;
+    k.vgprs = 24;
+    k.l1_reuse = 0.05;
+    k.l2_reuse = 0.05;
+    k.footprint_bytes_per_wg = 256.0 * 48;
+    k.mlp = 10.0;
+    k.host_overhead_us = 8.0;
+    return k;
+}
+
+KernelDesc
+tiledLds(const std::string &name, const ArchetypeParams &p)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    k.valu_ops = 600.0 * p.intensity;
+    k.mem_loads = 8.0;
+    k.mem_stores = 2.0;
+    k.bytes_per_access = 4.0;
+    k.coalescing = 1.0;
+    k.lds_ops = 48.0 * p.intensity;
+    k.lds_bytes_per_wg = 8.0 * 1024;
+    k.barriers = 8.0;
+    k.vgprs = 48;
+    k.l1_reuse = 0.55;
+    k.l2_reuse = 0.45;
+    k.footprint_bytes_per_wg = 16.0 * 1024;
+    k.mlp = 5.0;
+    k.host_overhead_us = 9.0;
+    return k;
+}
+
+KernelDesc
+stencil(const std::string &name, const ArchetypeParams &p,
+        double footprint_kb)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    k.valu_ops = 140.0 * p.intensity;
+    k.mem_loads = 10.0;
+    k.mem_stores = 2.0;
+    k.bytes_per_access = 4.0;
+    k.coalescing = 0.9;
+    k.vgprs = 40;
+    // Stencils mostly stream rows; only the halo overlap is reusable
+    // across workgroups, so the shared-cache sensitivity is mild.
+    k.l1_reuse = 0.45;
+    k.l2_reuse = 0.30;
+    k.footprint_bytes_per_wg = footprint_kb * 1024;
+    k.mlp = 6.0;
+    k.host_overhead_us = 9.0;
+    return k;
+}
+
+KernelDesc
+cacheThrash(const std::string &name, const ArchetypeParams &p,
+            double footprint_kb)
+{
+    KernelDesc k = stencil(name, p, footprint_kb);
+    // Almost all reuse lives in the L2, and the per-workgroup set is
+    // sized so a few CUs' worth of workgroups fit but the full
+    // machine's does not: enabling CUs destroys the hit rate faster
+    // than it adds compute.
+    k.valu_ops = 30.0 * p.intensity;
+    k.l1_reuse = 0.05;
+    k.l2_reuse = 0.97;
+    k.mem_loads = 18.0;
+    k.mlp = 10.0;
+    k.coalescing = 1.0;
+    return k;
+}
+
+KernelDesc
+pointerChase(const std::string &name, const ArchetypeParams &p)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    k.valu_ops = 40.0 * p.intensity;
+    k.mem_loads = 16.0;
+    k.mem_stores = 1.0;
+    k.bytes_per_access = 8.0;
+    k.coalescing = 0.125; // gather: one 8B pointer per 64B line
+    k.vgprs = 96;         // deep traversal state caps occupancy
+    k.l1_reuse = 0.10;
+    k.l2_reuse = 0.25;
+    k.footprint_bytes_per_wg = 512.0 * 1024;
+    k.mlp = 1.0; // strict dependence: the defining property
+    k.host_overhead_us = 8.0;
+    return k;
+}
+
+KernelDesc
+graphTraversal(const std::string &name, const ArchetypeParams &p)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    k.valu_ops = 60.0 * p.intensity;
+    k.mem_loads = 12.0;
+    k.mem_stores = 2.0;
+    k.bytes_per_access = 4.0;
+    k.coalescing = 0.12;
+    k.branch_divergence = 0.45;
+    k.vgprs = 36;
+    k.l1_reuse = 0.15;
+    k.l2_reuse = 0.40;
+    k.footprint_bytes_per_wg = 96.0 * 1024;
+    k.mlp = 2.0;
+    k.host_overhead_us = 10.0;
+    return k;
+}
+
+KernelDesc
+reduction(const std::string &name, const ArchetypeParams &p,
+          double contention)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    k.valu_ops = 60.0 * p.intensity;
+    k.mem_loads = 4.0;
+    k.mem_stores = 1.0;
+    k.bytes_per_access = 4.0;
+    k.coalescing = 1.0;
+    k.lds_ops = 12.0;
+    k.lds_bytes_per_wg = 2.0 * 1024;
+    k.barriers = 6.0;
+    k.vgprs = 32;
+    k.l1_reuse = 0.40;
+    k.l2_reuse = 0.30;
+    k.footprint_bytes_per_wg = 8.0 * 1024;
+    k.mlp = 6.0;
+    // The atomic tail dominates once contention retries kick in; at
+    // low contention the kernel stays compute/memory bound.
+    k.atomic_ops = 0.20 + 0.30 * contention;
+    k.atomic_contention = contention;
+    k.serial_fraction = 0.02;
+    k.host_overhead_us = 9.0;
+    return k;
+}
+
+KernelDesc
+tinyIterative(const std::string &name, const ArchetypeParams &p)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    k.valu_ops = 120.0 * p.intensity;
+    k.mem_loads = 5.0;
+    k.mem_stores = 2.0;
+    k.bytes_per_access = 4.0;
+    k.coalescing = 0.8;
+    k.vgprs = 28;
+    k.l1_reuse = 0.40;
+    k.l2_reuse = 0.50;
+    k.footprint_bytes_per_wg = 24.0 * 1024;
+    k.mlp = 4.0;
+    k.host_overhead_us = 12.0;
+    return k;
+}
+
+KernelDesc
+smallGridCompute(const std::string &name, const ArchetypeParams &p)
+{
+    KernelDesc k;
+    k.name = name;
+    k.num_workgroups = p.wgs;
+    k.work_items_per_wg = p.wi_per_wg;
+    k.launches = p.launches;
+    // Enough per-thread work that device time dwarfs the launch
+    // overhead even once CU scaling has saturated.
+    k.valu_ops = 9000.0 * p.intensity;
+    k.sfu_ops = 120.0 * p.intensity;
+    k.mem_loads = 8.0;
+    k.mem_stores = 2.0;
+    k.bytes_per_access = 4.0;
+    k.coalescing = 0.9;
+    k.vgprs = 84;
+    k.l1_reuse = 0.65;
+    k.l2_reuse = 0.50;
+    k.footprint_bytes_per_wg = 16.0 * 1024;
+    k.mlp = 4.0;
+    k.host_overhead_us = 10.0;
+    return k;
+}
+
+} // namespace workloads
+} // namespace gpuscale

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Kernel archetype builders.
+ *
+ * The kernel zoo is synthesized from a small set of behavioural
+ * archetypes, each corresponding to a code pattern that recurs across
+ * the public GPGPU benchmark suites the paper measured.  A suite file
+ * instantiates an archetype with per-application parameters (problem
+ * size, intensity, locality, iteration count), which keeps the 267
+ * descriptors meaningful rather than copy-pasted.
+ *
+ * Archetype -> expected scaling regime:
+ *  - denseCompute:    SIMD-issue bound; scales with CUs x core clock.
+ *  - streaming:       DRAM bound; scales with memory clock.
+ *  - tiledLds:        LDS/issue bound with barriers; core-clock bound.
+ *  - stencil:         L2-resident; core-clock bound via the crossbar,
+ *                     cache-sensitive to CU count.
+ *  - cacheThrash:     tuned so added CUs overflow the shared L2 —
+ *                     the CU-adverse regime.
+ *  - pointerChase:    latency bound; plateaus in frequency and
+ *                     bandwidth.
+ *  - graphTraversal:  divergent, uncoalesced, iterative; latency/
+ *                     launch mixtures, usually parallelism starved.
+ *  - reduction:       atomic tail + serial fraction; sub-linear to
+ *                     adverse CU scaling.
+ *  - tinyIterative:   launch-overhead dominated.
+ */
+
+#ifndef GPUSCALE_WORKLOADS_ARCHETYPES_HH
+#define GPUSCALE_WORKLOADS_ARCHETYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/kernel_desc.hh"
+
+namespace gpuscale {
+namespace workloads {
+
+/** Common knobs every archetype accepts. */
+struct ArchetypeParams {
+    /** Workgroups per launch. */
+    int64_t wgs = 1024;
+
+    /** Work-items per workgroup. */
+    int wi_per_wg = 256;
+
+    /** Host launches per program run. */
+    int64_t launches = 1;
+
+    /** Scale factor on the archetype's nominal per-item work. */
+    double intensity = 1.0;
+};
+
+/** Dense math (GEMM/NN-layer style): high flop/byte, high occupancy. */
+gpu::KernelDesc denseCompute(const std::string &name,
+                             const ArchetypeParams &p);
+
+/** Streaming (STREAM/axpy style): unit-stride, near-zero reuse. */
+gpu::KernelDesc streaming(const std::string &name,
+                          const ArchetypeParams &p);
+
+/** LDS-tiled compute (FFT/tiled-GEMM style): barriers + LDS traffic. */
+gpu::KernelDesc tiledLds(const std::string &name,
+                         const ArchetypeParams &p);
+
+/**
+ * Structured-grid stencil: strong inter-workgroup halo reuse in the
+ * L2.
+ *
+ * @param footprint_kb per-workgroup tile footprint in KiB; tune
+ *        against the 1 MiB shared L2 to select how cache-sensitive
+ *        the kernel is to added CUs.
+ */
+gpu::KernelDesc stencil(const std::string &name, const ArchetypeParams &p,
+                        double footprint_kb);
+
+/** L2-thrashing variant: loses performance as CUs are enabled. */
+gpu::KernelDesc cacheThrash(const std::string &name,
+                            const ArchetypeParams &p,
+                            double footprint_kb);
+
+/** Pointer chasing (hash probe / linked traversal): MLP ~= 1. */
+gpu::KernelDesc pointerChase(const std::string &name,
+                             const ArchetypeParams &p);
+
+/**
+ * Graph traversal sweep (BFS/SSSP style): divergent, uncoalesced,
+ * re-launched every frontier iteration.
+ */
+gpu::KernelDesc graphTraversal(const std::string &name,
+                               const ArchetypeParams &p);
+
+/**
+ * Reduction/histogram tail: global atomics with the given contention.
+ */
+gpu::KernelDesc reduction(const std::string &name,
+                          const ArchetypeParams &p,
+                          double contention);
+
+/** Small kernel launched thousands of times: launch-overhead bound. */
+gpu::KernelDesc tinyIterative(const std::string &name,
+                              const ArchetypeParams &p);
+
+/**
+ * Heavy per-thread compute on a launch too small to fill a big GPU
+ * (ODE solvers, per-row factorizations): CU scaling plateaus at
+ * roughly `wgs` CUs while frequency scaling stays linear — the
+ * parallelism-starved exemplar behind "benchmarks do not scale to
+ * modern GPU sizes".
+ */
+gpu::KernelDesc smallGridCompute(const std::string &name,
+                                 const ArchetypeParams &p);
+
+} // namespace workloads
+} // namespace gpuscale
+
+#endif // GPUSCALE_WORKLOADS_ARCHETYPES_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Random kernel generator implementation.
+ */
+
+#include "generator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace gpuscale {
+namespace workloads {
+
+KernelGenerator::KernelGenerator(uint64_t seed, GeneratorBounds bounds)
+    : seed_(seed), bounds_(bounds)
+{
+}
+
+gpu::KernelDesc
+KernelGenerator::next()
+{
+    // Each kernel gets its own stream so batch(n) is independent of
+    // the order of next() calls interleaved with other generators.
+    Rng rng(seed_ ^ (0x9e3779b97f4a7c15ull * (counter_ + 1)));
+    const uint64_t id = counter_++;
+
+    gpu::KernelDesc k;
+    k.name = strprintf("generated/seed%llu/k%llu",
+                       static_cast<unsigned long long>(seed_),
+                       static_cast<unsigned long long>(id));
+
+    k.num_workgroups = static_cast<int64_t>(rng.logUniform(
+        static_cast<double>(bounds_.min_wgs),
+        static_cast<double>(bounds_.max_wgs)));
+    // Work-items as a multiple of 32 for realism.
+    k.work_items_per_wg = static_cast<int>(
+        rng.uniformInt(bounds_.min_wi / 32, bounds_.max_wi / 32) * 32);
+    k.work_items_per_wg = std::clamp(k.work_items_per_wg, 1, 1024);
+    k.launches = static_cast<int64_t>(rng.logUniform(
+        1.0, static_cast<double>(bounds_.max_launches)));
+
+    k.valu_ops = rng.logUniform(1.0, bounds_.max_valu);
+    k.salu_ops_per_wave = rng.uniform(0.0, 60.0);
+    k.sfu_ops = rng.chance(0.3) ? rng.logUniform(0.5, 50.0) : 0.0;
+    k.mem_loads = rng.logUniform(0.5, bounds_.max_mem);
+    k.mem_stores = rng.logUniform(0.1, bounds_.max_mem / 4.0);
+    k.bytes_per_access = rng.chance(0.7) ? 4.0 : (rng.chance(0.5) ?
+                                                  8.0 : 16.0);
+    k.coalescing = rng.chance(0.6) ? 1.0 : rng.logUniform(0.0625, 1.0);
+
+    if (rng.chance(0.4)) {
+        k.lds_ops = rng.logUniform(1.0, 80.0);
+        k.lds_bytes_per_wg = rng.logUniform(256.0, 32.0 * 1024);
+        k.barriers = rng.uniform(0.0, 16.0);
+    }
+    k.vgprs = static_cast<int>(rng.uniformInt(16, 128));
+
+    // A real driver rejects workgroups that cannot fit on one CU; the
+    // generator mirrors that by shrinking the workgroup until its
+    // wavefronts fit the register file (GCN: 256 VGPRs per lane, 4
+    // SIMDs, at most 10 waves per SIMD).
+    const int waves_per_simd =
+        std::min<int>(10, 256 / k.vgprs);
+    const int max_wi = waves_per_simd * 4 * 64;
+    k.work_items_per_wg = std::min(k.work_items_per_wg, max_wi);
+
+    k.branch_divergence = rng.chance(0.5) ? 0.0 : rng.uniform(0.0, 0.7);
+    k.l1_reuse = rng.uniform(0.0, 0.9);
+    k.l2_reuse = rng.uniform(0.0, 0.95);
+    k.footprint_bytes_per_wg = rng.logUniform(1024.0, 2.0 * 1024 * 1024);
+    k.shared_footprint_bytes =
+        rng.chance(0.3) ? rng.logUniform(1024.0, 8.0 * 1024 * 1024) : 0.0;
+    k.mlp = rng.logUniform(1.0, 16.0);
+
+    if (rng.chance(0.2)) {
+        k.atomic_ops = rng.logUniform(0.01, 1.0);
+        k.atomic_contention = rng.uniform(0.0, 1.0);
+    }
+    if (rng.chance(0.15))
+        k.serial_fraction = rng.uniform(0.0, 0.2);
+    k.host_overhead_us = rng.uniform(4.0, 20.0);
+
+    k.validate();
+    return k;
+}
+
+std::vector<gpu::KernelDesc>
+KernelGenerator::batch(size_t n)
+{
+    std::vector<gpu::KernelDesc> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace workloads
+} // namespace gpuscale

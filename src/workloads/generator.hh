@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Seeded random kernel generator for property-based testing.
+ *
+ * Samples the full KernelDesc parameter space (log-uniform where the
+ * quantity spans orders of magnitude) so property tests can assert
+ * model invariants — determinism, positivity, monotonicity in
+ * resources, classifier totality — over thousands of kernels that no
+ * human picked.
+ */
+
+#ifndef GPUSCALE_WORKLOADS_GENERATOR_HH
+#define GPUSCALE_WORKLOADS_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/kernel_desc.hh"
+
+namespace gpuscale {
+namespace workloads {
+
+/** Bounds for the random kernel sampler. */
+struct GeneratorBounds {
+    int64_t min_wgs = 1;
+    int64_t max_wgs = 1 << 16;
+    int min_wi = 32;
+    int max_wi = 1024;
+    int64_t max_launches = 2000;
+    double max_valu = 4000.0;
+    double max_mem = 40.0;
+};
+
+/** Deterministic random-kernel source. */
+class KernelGenerator
+{
+  public:
+    explicit KernelGenerator(uint64_t seed,
+                             GeneratorBounds bounds = GeneratorBounds{});
+
+    /** Next random kernel; always passes KernelDesc::validate(). */
+    gpu::KernelDesc next();
+
+    /** Generate a batch of n kernels. */
+    std::vector<gpu::KernelDesc> batch(size_t n);
+
+  private:
+    uint64_t seed_;
+    uint64_t counter_ = 0;
+    GeneratorBounds bounds_;
+};
+
+} // namespace workloads
+} // namespace gpuscale
+
+#endif // GPUSCALE_WORKLOADS_GENERATOR_HH

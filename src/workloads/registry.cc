@@ -1,0 +1,140 @@
+/**
+ * @file
+ * WorkloadRegistry implementation.
+ */
+
+#include "registry.hh"
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace workloads {
+
+Program::Program(std::string suite, std::string name)
+    : suite_(std::move(suite)), name_(std::move(name))
+{
+}
+
+Program &
+Program::add(gpu::KernelDesc kernel)
+{
+    kernel.name = suite_ + "/" + name_ + "/" + kernel.name;
+    kernel.validate();
+    kernels_.push_back(std::move(kernel));
+    return *this;
+}
+
+const WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static const WorkloadRegistry registry;
+    return registry;
+}
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    auto append = [this](std::vector<Program> suite) {
+        for (auto &program : suite) {
+            panic_if(program.kernels().empty(),
+                     "program %s/%s has no kernels",
+                     program.suite().c_str(), program.name().c_str());
+            programs_.push_back(std::move(program));
+        }
+    };
+    append(makeRodiniaSuite());
+    append(makeParboilSuite());
+    append(makeShocSuite());
+    append(makeAmdSdkSuite());
+    append(makePolybenchSuite());
+    append(makeOpenDwarfsSuite());
+    append(makePannotiaSuite());
+}
+
+std::vector<std::string>
+WorkloadRegistry::suiteNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &program : programs_) {
+        if (names.empty() || names.back() != program.suite())
+            names.push_back(program.suite());
+    }
+    return names;
+}
+
+std::vector<const Program *>
+WorkloadRegistry::programsInSuite(std::string_view suite) const
+{
+    std::vector<const Program *> out;
+    for (const auto &program : programs_) {
+        if (program.suite() == suite)
+            out.push_back(&program);
+    }
+    return out;
+}
+
+std::vector<const gpu::KernelDesc *>
+WorkloadRegistry::allKernels() const
+{
+    std::vector<const gpu::KernelDesc *> out;
+    for (const auto &program : programs_) {
+        for (const auto &kernel : program.kernels())
+            out.push_back(&kernel);
+    }
+    return out;
+}
+
+std::vector<const gpu::KernelDesc *>
+WorkloadRegistry::kernelsInSuite(std::string_view suite) const
+{
+    std::vector<const gpu::KernelDesc *> out;
+    for (const auto *program : programsInSuite(suite)) {
+        for (const auto &kernel : program->kernels())
+            out.push_back(&kernel);
+    }
+    return out;
+}
+
+const gpu::KernelDesc *
+WorkloadRegistry::findKernel(std::string_view name) const
+{
+    for (const auto &program : programs_) {
+        for (const auto &kernel : program.kernels()) {
+            if (kernel.name == name)
+                return &kernel;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<SuiteCensus>
+WorkloadRegistry::census() const
+{
+    std::vector<SuiteCensus> rows;
+    for (const auto &suite : suiteNames()) {
+        SuiteCensus row;
+        row.suite = suite;
+        for (const auto *program : programsInSuite(suite)) {
+            ++row.programs;
+            row.kernels += program->kernels().size();
+        }
+        rows.push_back(row);
+    }
+    SuiteCensus total;
+    total.suite = "total";
+    total.programs = numPrograms();
+    total.kernels = numKernels();
+    rows.push_back(total);
+    return rows;
+}
+
+size_t
+WorkloadRegistry::numKernels() const
+{
+    size_t n = 0;
+    for (const auto &program : programs_)
+        n += program.kernels().size();
+    return n;
+}
+
+} // namespace workloads
+} // namespace gpuscale

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The workload registry: 97 programs / 267 kernels across 7 suites.
+ *
+ * The zoo mirrors the population the paper measured (open GPGPU
+ * benchmark suites of the era) in structure: each suite contributes
+ * programs, each program one or more kernels, and each kernel is an
+ * archetype instantiation whose parameters are inspired by the real
+ * application's behaviour (problem sizes, iteration counts, locality).
+ */
+
+#ifndef GPUSCALE_WORKLOADS_REGISTRY_HH
+#define GPUSCALE_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpu/kernel_desc.hh"
+
+namespace gpuscale {
+namespace workloads {
+
+/** One benchmark program: a named set of kernels within a suite. */
+class Program
+{
+  public:
+    Program(std::string suite, std::string name);
+
+    /**
+     * Add a kernel.  The kernel's name is rewritten to the canonical
+     * "suite/program/kernel" form.
+     */
+    Program &add(gpu::KernelDesc kernel);
+
+    const std::string &suite() const { return suite_; }
+    const std::string &name() const { return name_; }
+    const std::vector<gpu::KernelDesc> &kernels() const
+    {
+        return kernels_;
+    }
+
+  private:
+    std::string suite_;
+    std::string name_;
+    std::vector<gpu::KernelDesc> kernels_;
+};
+
+/** Per-suite census row. */
+struct SuiteCensus {
+    std::string suite;
+    size_t programs = 0;
+    size_t kernels = 0;
+};
+
+/**
+ * Singleton owning every program in the zoo.
+ *
+ * Construction validates every kernel descriptor, so a malformed suite
+ * entry fails fast at first use.
+ */
+class WorkloadRegistry
+{
+  public:
+    /** The global registry (built on first use). */
+    static const WorkloadRegistry &instance();
+
+    const std::vector<Program> &programs() const { return programs_; }
+
+    /** Distinct suite names, in registration order. */
+    std::vector<std::string> suiteNames() const;
+
+    /** Programs belonging to one suite. */
+    std::vector<const Program *> programsInSuite(
+        std::string_view suite) const;
+
+    /** Every kernel in the zoo, in registration order. */
+    std::vector<const gpu::KernelDesc *> allKernels() const;
+
+    /** Kernels belonging to one suite. */
+    std::vector<const gpu::KernelDesc *> kernelsInSuite(
+        std::string_view suite) const;
+
+    /** Find a kernel by canonical name; nullptr when absent. */
+    const gpu::KernelDesc *findKernel(std::string_view name) const;
+
+    /** Census rows per suite plus a "total" row at the end. */
+    std::vector<SuiteCensus> census() const;
+
+    size_t numPrograms() const { return programs_.size(); }
+    size_t numKernels() const;
+
+  private:
+    WorkloadRegistry();
+
+    std::vector<Program> programs_;
+};
+
+//
+// Suite builders (one translation unit each).
+//
+std::vector<Program> makeRodiniaSuite();
+std::vector<Program> makeParboilSuite();
+std::vector<Program> makeShocSuite();
+std::vector<Program> makeAmdSdkSuite();
+std::vector<Program> makePolybenchSuite();
+std::vector<Program> makeOpenDwarfsSuite();
+std::vector<Program> makePannotiaSuite();
+
+} // namespace workloads
+} // namespace gpuscale
+
+#endif // GPUSCALE_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for CSV reading/writing.
+ */
+
+#include "base/csv.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace {
+
+TEST(CsvEscapeTest, PlainPassthrough)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+    EXPECT_EQ(csvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesRows)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"a", "b"});
+    w.cell("x,y").cell(static_cast<int64_t>(3)).endRow();
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",3\n");
+    EXPECT_EQ(w.rowsWritten(), 2u);
+}
+
+TEST(CsvWriterTest, DoubleRoundTripsAtFullPrecision)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.cell(0.1234567890123456789).endRow();
+    const double parsed = std::stod(os.str());
+    EXPECT_DOUBLE_EQ(parsed, 0.1234567890123456789);
+}
+
+TEST(CsvParseTest, HeaderAndRows)
+{
+    const auto doc = parseCsv("a,b,c\n1,2,3\n4,5,6\n");
+    ASSERT_EQ(doc.header.size(), 3u);
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[1][2], "6");
+    EXPECT_EQ(doc.columnIndex("b"), 1u);
+}
+
+TEST(CsvParseTest, QuotedFieldsWithCommasAndNewlines)
+{
+    const auto doc =
+        parseCsv("name,note\nalice,\"x, y\"\nbob,\"multi\nline\"\n");
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[0][1], "x, y");
+    EXPECT_EQ(doc.rows[1][1], "multi\nline");
+}
+
+TEST(CsvParseTest, EscapedQuotes)
+{
+    const auto doc = parseCsv("v\n\"say \"\"hi\"\"\"\n");
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParseTest, CrLfTerminators)
+{
+    const auto doc = parseCsv("a,b\r\n1,2\r\n");
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvParseTest, MissingFinalNewline)
+{
+    const auto doc = parseCsv("a\n1");
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(CsvParseTest, EmptyFieldsPreserved)
+{
+    const auto doc = parseCsv("a,b,c\n,,\n");
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0].size(), 3u);
+    EXPECT_EQ(doc.rows[0][0], "");
+}
+
+TEST(CsvParseTest, RoundTripThroughWriter)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"k", "v"});
+    w.row({"comma,here", "quote\"here"});
+    w.row({"new\nline", "plain"});
+
+    const auto doc = parseCsv(os.str());
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[0][0], "comma,here");
+    EXPECT_EQ(doc.rows[0][1], "quote\"here");
+    EXPECT_EQ(doc.rows[1][0], "new\nline");
+}
+
+class CsvErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(CsvErrorTest, UnterminatedQuoteIsFatal)
+{
+    EXPECT_THROW(parseCsv("a\n\"oops\n"), std::runtime_error);
+}
+
+TEST_F(CsvErrorTest, UnknownColumnIsFatal)
+{
+    const auto doc = parseCsv("a,b\n1,2\n");
+    EXPECT_THROW(doc.columnIndex("missing"), std::runtime_error);
+}
+
+} // namespace
+} // namespace gpuscale

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the logging/error primitives.
+ */
+
+#include "base/logging.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gpuscale {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>> g_captured;
+
+void
+captureSink(LogLevel level, const std::string &msg)
+{
+    g_captured.emplace_back(level, msg);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        g_captured.clear();
+        setLogSink(captureSink);
+        setLogThrowOnTerminate(true);
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink(nullptr);
+        setLogThrowOnTerminate(false);
+    }
+};
+
+TEST_F(LoggingTest, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 7, "ok"), "x=7 y=ok");
+    EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST_F(LoggingTest, StrprintfLongOutput)
+{
+    const std::string big(5000, 'a');
+    EXPECT_EQ(strprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST_F(LoggingTest, InformGoesToSink)
+{
+    inform("hello %d", 42);
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Inform);
+    EXPECT_EQ(g_captured[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, WarnGoesToSink)
+{
+    warn("watch out");
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, FatalThrowsWhenHooked)
+{
+    EXPECT_THROW(fatal("bad user input %d", 3), std::runtime_error);
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Fatal);
+    EXPECT_EQ(g_captured[0].second, "bad user input 3");
+}
+
+TEST_F(LoggingTest, PanicThrowsWhenHooked)
+{
+    EXPECT_THROW(panic("invariant violated"), std::runtime_error);
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Panic);
+}
+
+TEST_F(LoggingTest, PanicIfOnlyFiresOnTrue)
+{
+    EXPECT_NO_THROW(panic_if(false, "never"));
+    EXPECT_THROW(panic_if(1 + 1 == 2, "fires"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, FatalIfOnlyFiresOnTrue)
+{
+    EXPECT_NO_THROW(fatal_if(false, "never"));
+    EXPECT_THROW(fatal_if(true, "fires"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, MessagesCarryFormattedArguments)
+{
+    EXPECT_THROW(fatal("a=%d b=%s c=%.1f", 1, "two", 3.0),
+                 std::runtime_error);
+    EXPECT_EQ(g_captured[0].second, "a=1 b=two c=3.0");
+}
+
+} // namespace
+} // namespace gpuscale

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for ASCII figure rendering.
+ */
+
+#include "base/plot.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace {
+
+TEST(LineChartTest, RendersTitleAxesAndLegend)
+{
+    LineChart chart("Scaling", "CUs", "speedup");
+    chart.addSeries({"kernelA", {1, 2, 3, 4}, {1, 2, 3, 4}});
+    chart.addSeries({"kernelB", {1, 2, 3, 4}, {1, 1, 1, 1}});
+
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("Scaling"), std::string::npos);
+    EXPECT_NE(out.find("x: CUs"), std::string::npos);
+    EXPECT_NE(out.find("y: speedup"), std::string::npos);
+    EXPECT_NE(out.find("*=kernelA"), std::string::npos);
+    EXPECT_NE(out.find("o=kernelB"), std::string::npos);
+    // Marker characters appear in the grid.
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChartTest, SinglePointSeriesAndFlatData)
+{
+    LineChart chart("t", "x", "y");
+    chart.addSeries({"s", {5}, {7}});
+    EXPECT_NO_THROW(chart.render());
+
+    LineChart flat("t", "x", "y");
+    flat.addSeries({"s", {1, 2}, {3, 3}});
+    EXPECT_NO_THROW(flat.render());
+}
+
+TEST(LineChartTest, CustomSize)
+{
+    LineChart chart("t", "x", "y");
+    chart.setSize(20, 5);
+    chart.addSeries({"s", {0, 1}, {0, 1}});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(BarChartTest, BarsScaleToMax)
+{
+    BarChart chart("Population");
+    chart.setBarWidth(10);
+    chart.addBar("big", 100.0);
+    chart.addBar("half", 50.0);
+    chart.addBar("zero", 0.0);
+
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("##########"), std::string::npos);
+    EXPECT_NE(out.find("#####"), std::string::npos);
+    EXPECT_NE(out.find("zero"), std::string::npos);
+    EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(HeatmapTest, RendersGridWithScale)
+{
+    Heatmap hm("Plane", {"r0", "r1"}, {"c0", "c1", "c2"},
+               {0, 1, 2, 3, 4, 5});
+    const std::string out = hm.render();
+    EXPECT_NE(out.find("Plane"), std::string::npos);
+    EXPECT_NE(out.find("r0"), std::string::npos);
+    EXPECT_NE(out.find("scale:"), std::string::npos);
+    // Highest cell uses the densest ramp character.
+    EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(HeatmapTest, ConstantGridDoesNotDivideByZero)
+{
+    Heatmap hm("c", {"r"}, {"a", "b"}, {2.0, 2.0});
+    EXPECT_NO_THROW(hm.render());
+}
+
+class PlotErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(PlotErrorTest, MismatchedSeriesPanics)
+{
+    LineChart chart("t", "x", "y");
+    EXPECT_THROW(chart.addSeries({"bad", {1, 2}, {1}}),
+                 std::runtime_error);
+}
+
+TEST_F(PlotErrorTest, EmptyChartPanics)
+{
+    LineChart chart("t", "x", "y");
+    EXPECT_THROW(chart.render(), std::runtime_error);
+}
+
+TEST_F(PlotErrorTest, NegativeBarPanics)
+{
+    BarChart chart("t");
+    EXPECT_THROW(chart.addBar("neg", -1.0), std::runtime_error);
+}
+
+TEST_F(PlotErrorTest, HeatmapSizeMismatchPanics)
+{
+    EXPECT_THROW(Heatmap("t", {"r"}, {"c"}, {1.0, 2.0}),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace gpuscale

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include "base/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gpuscale {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, CopyForksStream)
+{
+    Rng a(7);
+    a.next();
+    Rng b = a;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformMeanIsCentered)
+{
+    Rng rng(42);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    // All five values should appear over 1000 draws.
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleton)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(1234);
+    const int n = 200000;
+    double sum = 0, sum_sq = 0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShifted)
+{
+    Rng rng(55);
+    const int n = 100000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, LogUniformStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.logUniform(2.0, 2000.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LE(v, 2000.0 * (1 + 1e-12));
+    }
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(8);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceFrequency)
+{
+    Rng rng(8);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitIsDeterministic)
+{
+    Rng a(77), b(77);
+    Rng sa = a.split();
+    Rng sb = b.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sa.next(), sb.next());
+}
+
+TEST(RngTest, SplitDivergesFromParent)
+{
+    Rng a(77);
+    Rng child = a.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == child.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+/** Parameterized: stream quality holds across many seeds. */
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, UniformMeanAndSupport)
+{
+    Rng rng(GetParam());
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 2ull, 42ull,
+                                           0xdeadbeefull,
+                                           0xffffffffffffffffull));
+
+} // namespace
+} // namespace gpuscale

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include "base/stats.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gpuscale {
+namespace stats {
+namespace {
+
+TEST(ScalarTest, AccumulateAndReset)
+{
+    StatGroup group("sim");
+    Scalar &s = group.addScalar("cycles", "total cycles");
+    s += 10.0;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 11.0);
+    s.set(5.0);
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(DistributionTest, MomentsAndExtremes)
+{
+    StatGroup group("sim");
+    Distribution &d =
+        group.addDistribution("lat", "latency", 0.0, 100.0, 10);
+    for (double v : {10.0, 20.0, 30.0, 40.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 25.0);
+    EXPECT_DOUBLE_EQ(d.minSample(), 10.0);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 40.0);
+    EXPECT_NEAR(d.stddev(), 11.1803398875, 1e-9);
+}
+
+TEST(DistributionTest, Buckets)
+{
+    StatGroup group("sim");
+    Distribution &d =
+        group.addDistribution("lat", "latency", 0.0, 100.0, 10);
+    d.sample(5.0);   // bucket 0
+    d.sample(15.0);  // bucket 1
+    d.sample(15.5);  // bucket 1
+    d.sample(99.9);  // bucket 9
+    d.sample(-1.0);  // underflow
+    d.sample(100.0); // overflow (hi is exclusive)
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 2u);
+    EXPECT_EQ(d.buckets()[9], 1u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+}
+
+TEST(DistributionTest, ResetClearsEverything)
+{
+    StatGroup group("sim");
+    Distribution &d = group.addDistribution("x", "x", 0, 10, 2);
+    d.sample(1.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.buckets()[0], 0u);
+}
+
+TEST(FormulaTest, EvaluatesLazily)
+{
+    StatGroup group("sim");
+    Scalar &num = group.addScalar("insts", "instructions");
+    Scalar &den = group.addScalar("cycles", "cycles");
+    Formula &ipc = group.addFormula("ipc", "insts per cycle", [&] {
+        return den.value() > 0 ? num.value() / den.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(ipc.value(), 0.0);
+    num += 30;
+    den += 10;
+    EXPECT_DOUBLE_EQ(ipc.value(), 3.0);
+}
+
+TEST(StatGroupTest, PrintIncludesPrefixAndDesc)
+{
+    StatGroup group("gpu.cu0");
+    Scalar &s = group.addScalar("waves", "wavefronts launched");
+    s += 7;
+    std::ostringstream os;
+    group.printAll(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("gpu.cu0.waves 7"), std::string::npos);
+    EXPECT_NE(text.find("wavefronts launched"), std::string::npos);
+}
+
+TEST(StatGroupTest, ResetAllResetsEveryStat)
+{
+    StatGroup group("g");
+    Scalar &a = group.addScalar("a", "a");
+    Distribution &d = group.addDistribution("d", "d", 0, 1, 1);
+    a += 3;
+    d.sample(0.5);
+    group.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(group.size(), 2u);
+}
+
+} // namespace
+} // namespace stats
+} // namespace gpuscale

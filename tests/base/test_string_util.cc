@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for string helpers.
+ */
+
+#include "base/string_util.hh"
+
+#include <gtest/gtest.h>
+
+namespace gpuscale {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("x,", ','), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(TrimTest, Whitespace)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("\t\nhi"), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(JoinTest, Basic)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(PadTest, LeftAndRight)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef"); // never truncates
+}
+
+TEST(FormatDoubleTest, Decimals)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatSiTest, Scales)
+{
+    EXPECT_EQ(formatSi(1234.0, 2), "1.23k");
+    EXPECT_EQ(formatSi(2.5e6, 1), "2.5M");
+    EXPECT_EQ(formatSi(7.0e9, 0), "7G");
+    EXPECT_EQ(formatSi(3.2e12, 1), "3.2T");
+    EXPECT_EQ(formatSi(12.0, 1), "12.0");
+    EXPECT_EQ(formatSi(-4.0e6, 1), "-4.0M");
+}
+
+TEST(StartsWithTest, Basic)
+{
+    EXPECT_TRUE(startsWith("rodinia/bfs", "rodinia"));
+    EXPECT_FALSE(startsWith("rod", "rodinia"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(ToLowerTest, Ascii)
+{
+    EXPECT_EQ(toLower("MiXeD 123"), "mixed 123");
+}
+
+} // namespace
+} // namespace gpuscale

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for TextTable rendering.
+ */
+
+#include "base/table.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace {
+
+TEST(TextTableTest, RendersMarkdownShape)
+{
+    TextTable t;
+    t.addColumn("name");
+    t.addColumn("count", TextTable::Align::Right);
+    t.row({"alpha", "3"});
+    t.row({"b", "12345"});
+
+    const std::string out = t.render();
+    // Header, separator, two rows.
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("| alpha |"), std::string::npos);
+    // Right-aligned column pads on the left.
+    EXPECT_NE(out.find("|     3 |"), std::string::npos);
+    // Markdown right-align marker.
+    EXPECT_NE(out.find("-:|"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numColumns(), 2u);
+}
+
+TEST(TextTableTest, NumericCells)
+{
+    TextTable t;
+    t.addColumn("v");
+    t.beginRow();
+    t.cell(3.14159, 2);
+    t.beginRow();
+    t.cell(static_cast<int64_t>(-7));
+    const std::string out = t.render();
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find("-7"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnWidthTracksWidestCell)
+{
+    TextTable t;
+    t.addColumn("h");
+    t.row({"wide-cell-content"});
+    const std::string out = t.render();
+    // The header row is padded to the widest cell.
+    EXPECT_NE(out.find("| h                 |"), std::string::npos);
+}
+
+class TextTableErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(TextTableErrorTest, RowWidthMismatchPanics)
+{
+    TextTable t;
+    t.addColumn("a");
+    t.addColumn("b");
+    EXPECT_THROW(t.row({"only-one"}), std::runtime_error);
+}
+
+TEST_F(TextTableErrorTest, CellOverflowPanics)
+{
+    TextTable t;
+    t.addColumn("a");
+    t.beginRow();
+    t.cell("x");
+    EXPECT_THROW(t.cell("y"), std::runtime_error);
+}
+
+TEST_F(TextTableErrorTest, RenderWithoutColumnsPanics)
+{
+    TextTable t;
+    EXPECT_THROW(t.render(), std::runtime_error);
+}
+
+TEST_F(TextTableErrorTest, AddColumnAfterRowsPanics)
+{
+    TextTable t;
+    t.addColumn("a");
+    t.row({"1"});
+    EXPECT_THROW(t.addColumn("b"), std::runtime_error);
+}
+
+} // namespace
+} // namespace gpuscale

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Behavioural and property tests for the analytic timing model.
+ *
+ * The behavioural tests pin down the scaling mechanisms the taxonomy
+ * depends on; the property tests sweep randomly generated kernels and
+ * assert model invariants that must hold for *any* input.
+ */
+
+#include "gpu/analytic_model.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_desc.hh"
+#include "workloads/archetypes.hh"
+#include "workloads/generator.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+using workloads::ArchetypeParams;
+
+GpuConfig
+config(int cus, double core, double mem)
+{
+    GpuConfig cfg;
+    cfg.num_cus = cus;
+    cfg.core_clk_mhz = core;
+    cfg.mem_clk_mhz = mem;
+    return cfg;
+}
+
+TEST(AnalyticModelTest, ComputeKernelScalesWithCoreClock)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::denseCompute(
+        "t/c/k", {.wgs = 8192, .wi_per_wg = 256});
+    const KernelPerf lo = model.estimate(k, config(44, 200, 1250));
+    const KernelPerf hi = model.estimate(k, config(44, 1000, 1250));
+    EXPECT_NEAR(lo.time_s / hi.time_s, 5.0, 0.15);
+    EXPECT_EQ(hi.bound, BoundResource::Compute);
+}
+
+TEST(AnalyticModelTest, ComputeKernelIgnoresMemoryClock)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::denseCompute(
+        "t/c/k", {.wgs = 8192, .wi_per_wg = 256});
+    const KernelPerf lo = model.estimate(k, config(44, 1000, 150));
+    const KernelPerf hi = model.estimate(k, config(44, 1000, 1250));
+    EXPECT_NEAR(lo.time_s / hi.time_s, 1.0, 0.10);
+}
+
+TEST(AnalyticModelTest, ComputeKernelScalesWithCus)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::denseCompute(
+        "t/c/k", {.wgs = 44 * 240, .wi_per_wg = 256});
+    const KernelPerf lo = model.estimate(k, config(4, 1000, 1250));
+    const KernelPerf hi = model.estimate(k, config(44, 1000, 1250));
+    EXPECT_NEAR(lo.time_s / hi.time_s, 11.0, 0.8);
+}
+
+TEST(AnalyticModelTest, StreamingKernelScalesWithMemoryClock)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::streaming(
+        "t/s/k", {.wgs = 16384, .wi_per_wg = 256});
+    const KernelPerf lo = model.estimate(k, config(44, 1000, 150));
+    const KernelPerf hi = model.estimate(k, config(44, 1000, 1250));
+    EXPECT_NEAR(lo.time_s / hi.time_s, 8.33, 0.8);
+    EXPECT_EQ(hi.bound, BoundResource::Dram);
+}
+
+TEST(AnalyticModelTest, StreamingKernelPlateausWithCus)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::streaming(
+        "t/s/k", {.wgs = 16384, .wi_per_wg = 256});
+    const KernelPerf mid = model.estimate(k, config(24, 1000, 1250));
+    const KernelPerf hi = model.estimate(k, config(44, 1000, 1250));
+    // Bandwidth-bound: nearly flat past the point of saturation.
+    EXPECT_NEAR(mid.time_s / hi.time_s, 1.0, 0.10);
+}
+
+TEST(AnalyticModelTest, L2BoundKernelTracksCoreClockNotMemory)
+{
+    // High L2 reuse, modest compute: bound by the core-clocked L2.
+    KernelDesc k = workloads::streaming("t/l2/k",
+                                        {.wgs = 8192,
+                                         .wi_per_wg = 256,
+                                         .launches = 1,
+                                         .intensity = 0.2});
+    k.l2_reuse = 0.95;
+    k.footprint_bytes_per_wg = 64.0; // tiny: always L2 resident
+    k.mem_loads = 16.0;
+
+    const AnalyticModel model;
+    const KernelPerf base = model.estimate(k, config(44, 500, 700));
+    const KernelPerf fast_mem = model.estimate(k, config(44, 500, 1250));
+    const KernelPerf fast_core =
+        model.estimate(k, config(44, 1000, 700));
+    // Memory clock does nearly nothing; core clock nearly halves time.
+    EXPECT_NEAR(base.time_s / fast_mem.time_s, 1.0, 0.15);
+    EXPECT_GT(base.time_s / fast_core.time_s, 1.6);
+}
+
+TEST(AnalyticModelTest, SmallLaunchPlateausAtItsWorkgroupCount)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::smallGridCompute(
+        "t/sg/k", {.wgs = 8, .wi_per_wg = 256});
+    const KernelPerf at8 = model.estimate(k, config(8, 1000, 1250));
+    const KernelPerf at44 = model.estimate(k, config(44, 1000, 1250));
+    EXPECT_NEAR(at8.time_s / at44.time_s, 1.0, 0.05);
+    // But it still gains from 4 -> 8 CUs.
+    const KernelPerf at4 = model.estimate(k, config(4, 1000, 1250));
+    EXPECT_GT(at4.time_s / at8.time_s, 1.7);
+}
+
+TEST(AnalyticModelTest, LaunchOverheadDominatesTinyKernels)
+{
+    const AnalyticModel model;
+    KernelDesc k = workloads::tinyIterative(
+        "t/tiny/k", {.wgs = 2, .wi_per_wg = 64, .launches = 1000,
+                     .intensity = 0.05});
+    const KernelPerf perf = model.estimate(k, makeMaxConfig());
+    EXPECT_EQ(perf.bound, BoundResource::Launch);
+    // Total time is at least launches x overhead.
+    EXPECT_GE(perf.time_s, 1000 * k.host_overhead_us * 1e-6);
+}
+
+TEST(AnalyticModelTest, CacheThrashLosesPerformanceWithCus)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::cacheThrash(
+        "t/thrash/k", {.wgs = 4096, .wi_per_wg = 256}, 18.0);
+    const KernelPerf few = model.estimate(k, config(8, 1000, 1250));
+    const KernelPerf many = model.estimate(k, config(44, 1000, 1250));
+    EXPECT_GT(many.time_s, few.time_s * 1.1);
+}
+
+TEST(AnalyticModelTest, ContendedAtomicsLoseWithCus)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::reduction(
+        "t/red/k", {.wgs = 4096, .wi_per_wg = 256}, 0.9);
+    const KernelPerf few = model.estimate(k, config(4, 1000, 1250));
+    const KernelPerf many = model.estimate(k, config(44, 1000, 1250));
+    EXPECT_GT(many.time_s, few.time_s);
+    EXPECT_EQ(many.bound, BoundResource::Atomics);
+}
+
+TEST(AnalyticModelTest, SerialFractionCapsSpeedup)
+{
+    const AnalyticModel model;
+    KernelDesc k = workloads::denseCompute(
+        "t/ser/k", {.wgs = 44 * 240, .wi_per_wg = 256});
+    k.serial_fraction = 0.2;
+    const KernelPerf lo = model.estimate(k, config(4, 1000, 1250));
+    const KernelPerf hi = model.estimate(k, config(44, 1000, 1250));
+    // Amdahl: with s = 0.2 relative to the 1-CU run, speedup from
+    // 4 -> 44 CUs is well below the 11x machine ratio.
+    EXPECT_LT(lo.time_s / hi.time_s, 4.5);
+}
+
+TEST(AnalyticModelTest, BreakdownIsConsistentWithTotal)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::stencil(
+        "t/st/k", {.wgs = 2048, .wi_per_wg = 256}, 20.0);
+    const KernelPerf perf = model.estimate(k, makeMaxConfig());
+    const double max_term =
+        std::max({perf.t_compute, perf.t_lds, perf.t_l1, perf.t_l2,
+                  perf.t_dram, perf.t_latency, perf.t_atomic});
+    EXPECT_NEAR(perf.kernel_time_s, max_term, 1e-12);
+    EXPECT_NEAR(perf.time_s,
+                static_cast<double>(k.launches) *
+                    (perf.kernel_time_s + perf.t_launch),
+                1e-12);
+}
+
+TEST(AnalyticModelTest, AchievedRatesAreBounded)
+{
+    const AnalyticModel model;
+    const KernelDesc k = workloads::streaming(
+        "t/s/k", {.wgs = 16384, .wi_per_wg = 256});
+    const GpuConfig cfg = makeMaxConfig();
+    const KernelPerf perf = model.estimate(k, cfg);
+    EXPECT_LE(perf.achieved_dram_bw, cfg.effectiveDramBw() * 1.001);
+    EXPECT_LE(perf.achieved_gflops, cfg.peakGflops() * 1.001);
+    EXPECT_GE(perf.dram_utilization, 0.0);
+    EXPECT_LT(perf.dram_utilization, 1.0);
+}
+
+TEST(AnalyticModelTest, DivergenceSlowsComputeKernels)
+{
+    const AnalyticModel model;
+    KernelDesc k = workloads::denseCompute(
+        "t/div/k", {.wgs = 8192, .wi_per_wg = 256});
+    const KernelPerf convergent = model.estimate(k, makeMaxConfig());
+    k.branch_divergence = 0.5;
+    const KernelPerf divergent = model.estimate(k, makeMaxConfig());
+    EXPECT_NEAR(divergent.time_s / convergent.time_s, 2.0, 0.2);
+}
+
+//
+// Property tests over randomly generated kernels.
+//
+
+class AnalyticPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(AnalyticPropertyTest, InvariantsHoldForRandomKernels)
+{
+    const AnalyticModel model;
+    workloads::KernelGenerator gen(GetParam());
+    const GpuConfig configs[] = {makeMinConfig(), makeMidConfig(),
+                                 makeMaxConfig()};
+
+    for (int i = 0; i < 40; ++i) {
+        const KernelDesc k = gen.next();
+        for (const auto &cfg : configs) {
+            const KernelPerf perf = model.estimate(k, cfg);
+
+            // Times are positive and finite.
+            ASSERT_GT(perf.time_s, 0.0) << k.name;
+            ASSERT_TRUE(std::isfinite(perf.time_s)) << k.name;
+            ASSERT_GT(perf.kernel_time_s, 0.0) << k.name;
+
+            // The roofline max is one of the component terms.
+            const double max_term =
+                std::max({perf.t_compute, perf.t_lds, perf.t_l1,
+                          perf.t_l2, perf.t_dram, perf.t_latency,
+                          perf.t_atomic});
+            ASSERT_GE(perf.kernel_time_s, max_term * (1 - 1e-9))
+                << k.name;
+
+            // Determinism.
+            const KernelPerf again = model.estimate(k, cfg);
+            ASSERT_DOUBLE_EQ(perf.time_s, again.time_s) << k.name;
+
+            // Physical caps.
+            ASSERT_LE(perf.achieved_dram_bw,
+                      cfg.effectiveDramBw() * 1.001)
+                << k.name;
+            ASSERT_LE(perf.achieved_gflops, cfg.peakGflops() * 1.001)
+                << k.name;
+        }
+    }
+}
+
+TEST_P(AnalyticPropertyTest, FasterClocksNeverHurt)
+{
+    const AnalyticModel model;
+    workloads::KernelGenerator gen(GetParam() ^ 0xabcdef);
+
+    for (int i = 0; i < 25; ++i) {
+        const KernelDesc k = gen.next();
+        const KernelPerf slow =
+            model.estimate(k, config(24, 400, 700));
+        const KernelPerf fast_core =
+            model.estimate(k, config(24, 800, 700));
+        const KernelPerf fast_mem =
+            model.estimate(k, config(24, 400, 1250));
+        // Frequency knobs are contention-free in the model: raising
+        // either can never increase runtime.
+        ASSERT_LE(fast_core.time_s, slow.time_s * (1 + 1e-9)) << k.name;
+        ASSERT_LE(fast_mem.time_s, slow.time_s * (1 + 1e-9)) << k.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticPropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the cache model.
+ */
+
+#include "gpu/cache_model.hh"
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_desc.hh"
+#include "gpu/occupancy.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+KernelDesc
+baseKernel()
+{
+    KernelDesc k;
+    k.name = "t/p/k";
+    k.num_workgroups = 10000;
+    k.work_items_per_wg = 256;
+    k.l1_reuse = 0.6;
+    k.l2_reuse = 0.8;
+    k.footprint_bytes_per_wg = 8.0 * 1024;
+    k.coalescing = 1.0;
+    return k;
+}
+
+TEST(CapacityFactorTest, Limits)
+{
+    // Tiny footprint: everything fits.
+    EXPECT_NEAR(capacityFactor(1e6, 1.0), 1.0, 1e-4);
+    // Zero footprint is defined as a perfect fit.
+    EXPECT_DOUBLE_EQ(capacityFactor(1e6, 0.0), 1.0);
+    // Massive oversubscription approaches capacity/footprint.
+    EXPECT_NEAR(capacityFactor(1e3, 1e6), 1e-3, 1e-4);
+}
+
+TEST(CapacityFactorTest, MonotoneInFootprint)
+{
+    // Start where the factor is measurably below 1 (tiny footprints
+    // saturate to exactly 1.0 in double precision).
+    double prev = 2.0;
+    for (double fp = 2e5; fp <= 1e9; fp *= 2) {
+        const double f = capacityFactor(1e6, fp);
+        EXPECT_LT(f, prev);
+        EXPECT_GT(f, 0.0);
+        EXPECT_LE(f, 1.0);
+        prev = f;
+    }
+}
+
+TEST(CacheModelTest, HitRatesBoundedByReusePotential)
+{
+    const KernelDesc k = baseKernel();
+    const GpuConfig cfg = makeMaxConfig();
+    const Occupancy occ = computeOccupancy(k, cfg);
+    const CacheBehavior cb = computeCacheBehavior(k, cfg, occ);
+    EXPECT_GE(cb.l1_hit_rate, 0.0);
+    EXPECT_LE(cb.l1_hit_rate, k.l1_reuse);
+    EXPECT_GE(cb.l2_hit_rate, 0.0);
+    EXPECT_LE(cb.l2_hit_rate, k.l2_reuse);
+}
+
+TEST(CacheModelTest, MoreCusDegradeSharedL2HitRate)
+{
+    KernelDesc k = baseKernel();
+    // Footprint sized so a few CUs' workgroups fit and many don't.
+    k.footprint_bytes_per_wg = 24.0 * 1024;
+
+    GpuConfig small = makeMaxConfig();
+    small.num_cus = 4;
+    const GpuConfig big = makeMaxConfig();
+
+    const CacheBehavior lo =
+        computeCacheBehavior(k, small, computeOccupancy(k, small));
+    const CacheBehavior hi =
+        computeCacheBehavior(k, big, computeOccupancy(k, big));
+
+    EXPECT_GT(lo.l2_hit_rate, hi.l2_hit_rate);
+    EXPECT_LT(lo.dram_traffic_per_byte, hi.dram_traffic_per_byte);
+    EXPECT_GT(hi.l2_footprint_bytes, lo.l2_footprint_bytes);
+}
+
+TEST(CacheModelTest, PoorCoalescingAmplifiesTraffic)
+{
+    KernelDesc k = baseKernel();
+    const GpuConfig cfg = makeMaxConfig();
+    const Occupancy occ = computeOccupancy(k, cfg);
+    const CacheBehavior coalesced = computeCacheBehavior(k, cfg, occ);
+
+    k.coalescing = 0.25;
+    const CacheBehavior scattered = computeCacheBehavior(k, cfg, occ);
+    EXPECT_NEAR(scattered.l2_traffic_per_byte,
+                4.0 * coalesced.l2_traffic_per_byte, 1e-9);
+}
+
+TEST(CacheModelTest, TrafficConservation)
+{
+    // DRAM traffic never exceeds L2 traffic per byte.
+    const KernelDesc k = baseKernel();
+    const GpuConfig cfg = makeMaxConfig();
+    const Occupancy occ = computeOccupancy(k, cfg);
+    const CacheBehavior cb = computeCacheBehavior(k, cfg, occ);
+    EXPECT_LE(cb.dram_traffic_per_byte, cb.l2_traffic_per_byte + 1e-12);
+}
+
+TEST(CacheModelTest, ZeroReuseStreamsEverything)
+{
+    KernelDesc k = baseKernel();
+    k.l1_reuse = 0.0;
+    k.l2_reuse = 0.0;
+    const GpuConfig cfg = makeMaxConfig();
+    const CacheBehavior cb =
+        computeCacheBehavior(k, cfg, computeOccupancy(k, cfg));
+    EXPECT_DOUBLE_EQ(cb.l1_hit_rate, 0.0);
+    EXPECT_DOUBLE_EQ(cb.l2_hit_rate, 0.0);
+    EXPECT_DOUBLE_EQ(cb.dram_traffic_per_byte, 1.0);
+}
+
+TEST(CacheModelTest, SharedFootprintCountsOnce)
+{
+    KernelDesc a = baseKernel();
+    a.shared_footprint_bytes = 512.0 * 1024;
+    KernelDesc b = baseKernel();
+
+    const GpuConfig cfg = makeMaxConfig();
+    const CacheBehavior with_shared =
+        computeCacheBehavior(a, cfg, computeOccupancy(a, cfg));
+    const CacheBehavior without =
+        computeCacheBehavior(b, cfg, computeOccupancy(b, cfg));
+    EXPECT_NEAR(with_shared.l2_footprint_bytes -
+                    without.l2_footprint_bytes,
+                512.0 * 1024, 1.0);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

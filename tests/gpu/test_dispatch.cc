@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the dispatch model.
+ */
+
+#include "gpu/dispatch.hh"
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_desc.hh"
+#include "gpu/occupancy.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+KernelDesc
+kernelWithWgs(int64_t wgs)
+{
+    KernelDesc k;
+    k.name = "t/p/k";
+    k.num_workgroups = wgs;
+    k.work_items_per_wg = 256; // 4 waves per workgroup
+    k.vgprs = 16;              // registers never limit occupancy here
+    k.host_overhead_us = 10.0;
+    return k;
+}
+
+TEST(DispatchTest, ExactFillHasNoTail)
+{
+    const GpuConfig cfg = makeMaxConfig();
+    // wgs_per_cu = 10 (wave slots); capacity = 440.
+    const KernelDesc k = kernelWithWgs(440);
+    const DispatchState d =
+        computeDispatch(k, cfg, computeOccupancy(k, cfg));
+    EXPECT_EQ(d.batches, 1);
+    EXPECT_DOUBLE_EQ(d.tail_factor, 1.0);
+    EXPECT_DOUBLE_EQ(d.machine_fill, 1.0);
+}
+
+TEST(DispatchTest, OneExtraWorkgroupDoublesBatches)
+{
+    const GpuConfig cfg = makeMaxConfig();
+    const KernelDesc k = kernelWithWgs(441);
+    const DispatchState d =
+        computeDispatch(k, cfg, computeOccupancy(k, cfg));
+    EXPECT_EQ(d.batches, 2);
+    EXPECT_NEAR(d.tail_factor, 2.0 / (441.0 / 440.0), 1e-9);
+    EXPECT_LT(d.machine_fill, 0.51);
+}
+
+TEST(DispatchTest, TinyLaunchUnderfillsMachine)
+{
+    const GpuConfig cfg = makeMaxConfig();
+    const KernelDesc k = kernelWithWgs(44);
+    const DispatchState d =
+        computeDispatch(k, cfg, computeOccupancy(k, cfg));
+    EXPECT_EQ(d.batches, 1);
+    EXPECT_NEAR(d.machine_fill, 0.1, 1e-9);
+}
+
+TEST(DispatchTest, TailShrinksWithScale)
+{
+    const GpuConfig cfg = makeMaxConfig();
+    // Large launches amortize the final partial batch.
+    const KernelDesc big = kernelWithWgs(440 * 100 + 1);
+    const DispatchState d =
+        computeDispatch(big, cfg, computeOccupancy(big, cfg));
+    EXPECT_EQ(d.batches, 101);
+    EXPECT_LT(d.tail_factor, 1.01);
+}
+
+TEST(DispatchTest, LaunchOverheadFromDescriptor)
+{
+    const GpuConfig cfg = makeMaxConfig();
+    const KernelDesc k = kernelWithWgs(440);
+    const DispatchState d =
+        computeDispatch(k, cfg, computeOccupancy(k, cfg));
+    EXPECT_DOUBLE_EQ(d.launch_overhead_s, 10.0e-6);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

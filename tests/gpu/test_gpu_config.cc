@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for GpuConfig.
+ */
+
+#include "gpu/gpu_config.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+TEST(GpuConfigTest, DerivedPeaksAtMaxConfig)
+{
+    const GpuConfig cfg = makeMaxConfig();
+    // 44 CU x 4 SIMD x 16 lanes x 2 flops x 1 GHz = 5632 GFLOP/s.
+    EXPECT_NEAR(cfg.peakGflops(), 5632.0, 1e-6);
+    // 48 B x 4 transfers x 1.25 GHz = 240 GB/s pin rate.
+    EXPECT_NEAR(cfg.peakDramBw(), 240e9, 1e-3);
+    EXPECT_NEAR(cfg.effectiveDramBw(), 192e9, 1e-3);
+    // 8 slices x 64 B x 1 GHz = 512 GB/s.
+    EXPECT_NEAR(cfg.peakL2Bw(), 512e9, 1e-3);
+    EXPECT_NEAR(cfg.l2CapacityBytes(), 1024.0 * 1024, 1e-9);
+    EXPECT_EQ(cfg.maxWavesPerCu(), 40);
+}
+
+TEST(GpuConfigTest, PeaksScaleWithKnobs)
+{
+    GpuConfig a = makeMaxConfig();
+    GpuConfig b = a;
+    b.num_cus = a.num_cus / 2;
+    EXPECT_NEAR(b.peakGflops(), a.peakGflops() / 2, 1e-9);
+    // L2 and DRAM are independent of the CU count.
+    EXPECT_DOUBLE_EQ(b.peakL2Bw(), a.peakL2Bw());
+    EXPECT_DOUBLE_EQ(b.peakDramBw(), a.peakDramBw());
+
+    GpuConfig c = a;
+    c.core_clk_mhz = a.core_clk_mhz / 2;
+    EXPECT_NEAR(c.peakGflops(), a.peakGflops() / 2, 1e-9);
+    EXPECT_NEAR(c.peakL2Bw(), a.peakL2Bw() / 2, 1e-9);
+    EXPECT_DOUBLE_EQ(c.peakDramBw(), a.peakDramBw());
+
+    GpuConfig d = a;
+    d.mem_clk_mhz = a.mem_clk_mhz / 2;
+    EXPECT_NEAR(d.peakDramBw(), a.peakDramBw() / 2, 1e-9);
+    EXPECT_DOUBLE_EQ(d.peakGflops(), a.peakGflops());
+}
+
+TEST(GpuConfigTest, StudyRangeRatios)
+{
+    const GpuConfig hi = makeMaxConfig();
+    const GpuConfig lo = makeMinConfig();
+    EXPECT_NEAR(static_cast<double>(hi.num_cus) / lo.num_cus, 11.0,
+                1e-12);
+    EXPECT_NEAR(hi.core_clk_mhz / lo.core_clk_mhz, 5.0, 1e-12);
+    EXPECT_NEAR(hi.mem_clk_mhz / lo.mem_clk_mhz, 8.3333, 1e-3);
+}
+
+TEST(GpuConfigTest, IdAndDescribe)
+{
+    const GpuConfig cfg = makeMaxConfig();
+    EXPECT_EQ(cfg.id(), "cu44_c1000_m1250");
+    EXPECT_NE(cfg.describe().find("44 CUs"), std::string::npos);
+}
+
+TEST(GpuConfigTest, PresetsValidate)
+{
+    EXPECT_NO_THROW(makeMaxConfig().validate());
+    EXPECT_NO_THROW(makeMinConfig().validate());
+    EXPECT_NO_THROW(makeMidConfig().validate());
+}
+
+class GpuConfigValidationTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(GpuConfigValidationTest, RejectsBadKnobs)
+{
+    GpuConfig cfg;
+    cfg.num_cus = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    cfg = GpuConfig{};
+    cfg.core_clk_mhz = -1;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    cfg = GpuConfig{};
+    cfg.mem_clk_mhz = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST_F(GpuConfigValidationTest, RejectsBadMicroarchitecture)
+{
+    GpuConfig cfg;
+    cfg.dram_efficiency = 1.5;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    cfg = GpuConfig{};
+    cfg.l2_slices = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    cfg = GpuConfig{};
+    cfg.max_waves_per_simd = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the CU<->L2 crossbar model.
+ */
+
+#include "gpu/interconnect.hh"
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_config.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+TEST(InterconnectTest, CoreClockDomain)
+{
+    GpuConfig hi = makeMaxConfig();
+    GpuConfig lo = makeMaxConfig();
+    lo.core_clk_mhz = 200.0;
+
+    const XbarState xhi = computeXbar(hi);
+    const XbarState xlo = computeXbar(lo);
+    EXPECT_NEAR(xhi.l2_bw / xlo.l2_bw, 5.0, 1e-9);
+    // Memory clock is irrelevant to the crossbar.
+    GpuConfig mem_low = makeMaxConfig();
+    mem_low.mem_clk_mhz = 150.0;
+    EXPECT_DOUBLE_EQ(computeXbar(mem_low).l2_bw, xhi.l2_bw);
+}
+
+TEST(InterconnectTest, PortLimitBindsAtFewCus)
+{
+    GpuConfig few = makeMaxConfig();
+    few.num_cus = 4;
+    const XbarState x = computeXbar(few);
+    // 4 CUs x 64 B x 1 GHz = 256 GB/s < 512 GB/s of L2.
+    EXPECT_DOUBLE_EQ(x.cu_port_bw, 256e9);
+    EXPECT_DOUBLE_EQ(x.effective_bw, x.cu_port_bw);
+}
+
+TEST(InterconnectTest, L2LimitBindsAtManyCus)
+{
+    const XbarState x = computeXbar(makeMaxConfig());
+    // 44 CUs of ports exceed the 8 L2 slices.
+    EXPECT_GT(x.cu_port_bw, x.l2_bw);
+    EXPECT_DOUBLE_EQ(x.effective_bw, x.l2_bw);
+}
+
+TEST(InterconnectTest, LatencyScalesInverselyWithClock)
+{
+    GpuConfig lo = makeMaxConfig();
+    lo.core_clk_mhz = 500.0;
+    EXPECT_NEAR(computeXbar(lo).latency_s,
+                2.0 * computeXbar(makeMaxConfig()).latency_s, 1e-15);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for KernelDesc, including a parameterized validation
+ * sweep over malformed fields.
+ */
+
+#include "gpu/kernel_desc.hh"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "gpu/gpu_config.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+KernelDesc
+goodKernel()
+{
+    KernelDesc k;
+    k.name = "test/prog/kernel";
+    k.num_workgroups = 128;
+    k.work_items_per_wg = 256;
+    return k;
+}
+
+TEST(KernelDescTest, DerivedQuantities)
+{
+    KernelDesc k = goodKernel();
+    const GpuConfig cfg = makeMaxConfig();
+    EXPECT_EQ(k.wavesPerWg(cfg), 4); // 256 / 64
+    EXPECT_EQ(k.totalWaves(cfg), 512);
+    EXPECT_EQ(k.totalWorkItems(), 128 * 256);
+
+    k.mem_loads = 10;
+    k.mem_stores = 2;
+    k.bytes_per_access = 4;
+    EXPECT_DOUBLE_EQ(k.totalMemInsts(), 128.0 * 256 * 12);
+    EXPECT_DOUBLE_EQ(k.totalBytesRequested(), 128.0 * 256 * 12 * 4);
+}
+
+TEST(KernelDescTest, PartialWavefrontRoundsUp)
+{
+    KernelDesc k = goodKernel();
+    k.work_items_per_wg = 65;
+    EXPECT_EQ(k.wavesPerWg(makeMaxConfig()), 2);
+    k.work_items_per_wg = 1;
+    EXPECT_EQ(k.wavesPerWg(makeMaxConfig()), 1);
+}
+
+TEST(KernelDescTest, ArithmeticIntensity)
+{
+    KernelDesc k = goodKernel();
+    k.valu_ops = 100;
+    k.sfu_ops = 0;
+    k.mem_loads = 5;
+    k.mem_stores = 0;
+    k.bytes_per_access = 4;
+    k.coalescing = 1.0;
+    EXPECT_NEAR(arithmeticIntensity(k), 100.0 / 20.0, 1e-12);
+    // Poor coalescing moves more bytes, lowering the intensity.
+    k.coalescing = 0.5;
+    EXPECT_NEAR(arithmeticIntensity(k), 100.0 / 40.0, 1e-12);
+}
+
+TEST(KernelDescTest, DescribeMentionsNameAndGeometry)
+{
+    const KernelDesc k = goodKernel();
+    const std::string text = k.describe();
+    EXPECT_NE(text.find("test/prog/kernel"), std::string::npos);
+    EXPECT_NE(text.find("128 wg"), std::string::npos);
+}
+
+/** Parameterized validation: each mutation must be rejected. */
+struct BadFieldCase {
+    const char *label;
+    std::function<void(KernelDesc &)> mutate;
+};
+
+class KernelValidationTest
+    : public ::testing::TestWithParam<BadFieldCase>
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_P(KernelValidationTest, RejectsBadField)
+{
+    KernelDesc k = goodKernel();
+    GetParam().mutate(k);
+    EXPECT_THROW(k.validate(), std::runtime_error)
+        << "field: " << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadFields, KernelValidationTest,
+    ::testing::Values(
+        BadFieldCase{"empty_name",
+                     [](KernelDesc &k) { k.name.clear(); }},
+        BadFieldCase{"zero_wgs",
+                     [](KernelDesc &k) { k.num_workgroups = 0; }},
+        BadFieldCase{"wi_too_large",
+                     [](KernelDesc &k) { k.work_items_per_wg = 2048; }},
+        BadFieldCase{"zero_launches",
+                     [](KernelDesc &k) { k.launches = 0; }},
+        BadFieldCase{"negative_valu",
+                     [](KernelDesc &k) { k.valu_ops = -1; }},
+        BadFieldCase{"negative_loads",
+                     [](KernelDesc &k) { k.mem_loads = -0.1; }},
+        BadFieldCase{"bytes_zero",
+                     [](KernelDesc &k) { k.bytes_per_access = 0; }},
+        BadFieldCase{"bytes_too_big",
+                     [](KernelDesc &k) { k.bytes_per_access = 128; }},
+        BadFieldCase{"coalescing_zero",
+                     [](KernelDesc &k) { k.coalescing = 0; }},
+        BadFieldCase{"coalescing_above_one",
+                     [](KernelDesc &k) { k.coalescing = 1.5; }},
+        BadFieldCase{"vgprs_zero", [](KernelDesc &k) { k.vgprs = 0; }},
+        BadFieldCase{"vgprs_too_many",
+                     [](KernelDesc &k) { k.vgprs = 512; }},
+        BadFieldCase{"divergence_one",
+                     [](KernelDesc &k) { k.branch_divergence = 1.0; }},
+        BadFieldCase{"reuse_above_one",
+                     [](KernelDesc &k) { k.l1_reuse = 1.2; }},
+        BadFieldCase{"mlp_below_one",
+                     [](KernelDesc &k) { k.mlp = 0.5; }},
+        BadFieldCase{"serial_above_one",
+                     [](KernelDesc &k) { k.serial_fraction = 1.5; }},
+        BadFieldCase{"negative_atomics",
+                     [](KernelDesc &k) { k.atomic_ops = -1; }},
+        BadFieldCase{"contention_above_one",
+                     [](KernelDesc &k) { k.atomic_contention = 2; }},
+        BadFieldCase{"negative_overhead",
+                     [](KernelDesc &k) { k.host_overhead_us = -1; }}),
+    [](const ::testing::TestParamInfo<BadFieldCase> &info) {
+        return info.param.label;
+    });
+
+TEST(KernelDescTest, GoodKernelValidates)
+{
+    EXPECT_NO_THROW(goodKernel().validate());
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the DRAM model.
+ */
+
+#include "gpu/memory_system.hh"
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_config.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+TEST(MemorySystemTest, BandwidthScalesWithMemoryClock)
+{
+    GpuConfig lo = makeMaxConfig();
+    lo.mem_clk_mhz = 150.0;
+    GpuConfig hi = makeMaxConfig();
+    hi.mem_clk_mhz = 1250.0;
+
+    const MemorySystem mlo(lo), mhi(hi);
+    EXPECT_NEAR(mhi.peakBandwidth() / mlo.peakBandwidth(), 8.3333,
+                1e-3);
+}
+
+TEST(MemorySystemTest, LatencyIsClockInvariant)
+{
+    GpuConfig lo = makeMaxConfig();
+    lo.mem_clk_mhz = 150.0;
+    const MemorySystem mlo(lo);
+    const MemorySystem mhi(makeMaxConfig());
+    EXPECT_DOUBLE_EQ(mlo.unloadedLatency(), mhi.unloadedLatency());
+}
+
+TEST(MemorySystemTest, AchievedBandwidthIsCapped)
+{
+    const MemorySystem mem(makeMaxConfig());
+    const DramState over = mem.evaluate(10.0 * mem.peakBandwidth());
+    EXPECT_DOUBLE_EQ(over.achieved_bw, mem.peakBandwidth());
+    EXPECT_LE(over.utilization, 0.951);
+
+    const DramState under = mem.evaluate(0.5 * mem.peakBandwidth());
+    EXPECT_DOUBLE_EQ(under.achieved_bw, 0.5 * mem.peakBandwidth());
+    EXPECT_NEAR(under.utilization, 0.5, 1e-12);
+}
+
+TEST(MemorySystemTest, LoadedLatencyGrowsWithUtilization)
+{
+    const MemorySystem mem(makeMaxConfig());
+    double prev = 0;
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0, 2.0}) {
+        const DramState st = mem.evaluate(frac * mem.peakBandwidth());
+        EXPECT_GE(st.loaded_latency_s, prev);
+        prev = st.loaded_latency_s;
+    }
+    // Unloaded latency is the floor.
+    EXPECT_DOUBLE_EQ(mem.evaluate(0.0).loaded_latency_s,
+                     mem.unloadedLatency());
+}
+
+TEST(MemorySystemTest, QueueInflationIsBounded)
+{
+    // At the utilization clamp, M/D/1 gives 1 + 0.95/(2*0.05) = 10.5x.
+    const MemorySystem mem(makeMaxConfig());
+    const DramState sat = mem.evaluate(100.0 * mem.peakBandwidth());
+    EXPECT_LT(sat.loaded_latency_s, 11.0 * mem.unloadedLatency());
+    EXPECT_GT(sat.loaded_latency_s, mem.unloadedLatency());
+}
+
+TEST(MemorySystemTest, ZeroDemandIsValid)
+{
+    const MemorySystem mem(makeMaxConfig());
+    const DramState idle = mem.evaluate(0.0);
+    EXPECT_DOUBLE_EQ(idle.achieved_bw, 0.0);
+    EXPECT_DOUBLE_EQ(idle.utilization, 0.0);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the occupancy model.
+ */
+
+#include "gpu/occupancy.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_desc.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+KernelDesc
+baseKernel()
+{
+    KernelDesc k;
+    k.name = "t/p/k";
+    k.num_workgroups = 10000;
+    k.work_items_per_wg = 256; // 4 waves
+    k.vgprs = 16;              // not limiting
+    k.lds_bytes_per_wg = 0;
+    return k;
+}
+
+TEST(OccupancyTest, WaveSlotLimit)
+{
+    // 4 waves per wg, 40 wave slots -> 10 wgs, but only 16 hw slots;
+    // wave slots bind first: min(10, 16) = 10.
+    const Occupancy occ =
+        computeOccupancy(baseKernel(), makeMaxConfig());
+    EXPECT_EQ(occ.wgs_per_cu, 10);
+    EXPECT_EQ(occ.waves_per_cu, 40);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::WavefrontSlots);
+    EXPECT_DOUBLE_EQ(occ.waveSlotFraction(makeMaxConfig()), 1.0);
+}
+
+TEST(OccupancyTest, WorkgroupSlotLimit)
+{
+    KernelDesc k = baseKernel();
+    k.work_items_per_wg = 64; // 1 wave per wg -> 40 by waves, 16 slots
+    const Occupancy occ = computeOccupancy(k, makeMaxConfig());
+    EXPECT_EQ(occ.wgs_per_cu, 16);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::WorkgroupSlots);
+}
+
+TEST(OccupancyTest, RegisterLimit)
+{
+    KernelDesc k = baseKernel();
+    k.vgprs = 128; // 2 waves per SIMD -> 8 waves/CU -> 2 wgs
+    const Occupancy occ = computeOccupancy(k, makeMaxConfig());
+    EXPECT_EQ(occ.wgs_per_cu, 2);
+    EXPECT_EQ(occ.waves_per_cu, 8);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::Registers);
+}
+
+TEST(OccupancyTest, LdsLimit)
+{
+    KernelDesc k = baseKernel();
+    k.lds_bytes_per_wg = 20.0 * 1024; // 64KB / 20KB -> 3 wgs
+    const Occupancy occ = computeOccupancy(k, makeMaxConfig());
+    EXPECT_EQ(occ.wgs_per_cu, 3);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::Lds);
+}
+
+TEST(OccupancyTest, LaunchSizeLimit)
+{
+    KernelDesc k = baseKernel();
+    k.num_workgroups = 8; // far below 10 * 44 machine capacity
+    const Occupancy occ = computeOccupancy(k, makeMaxConfig());
+    EXPECT_EQ(occ.active_wgs, 8);
+    EXPECT_EQ(occ.used_cus, 8);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::LaunchSize);
+}
+
+TEST(OccupancyTest, MachineWideCountsScaleWithCus)
+{
+    const KernelDesc k = baseKernel();
+    GpuConfig small = makeMaxConfig();
+    small.num_cus = 4;
+    const Occupancy lo = computeOccupancy(k, small);
+    const Occupancy hi = computeOccupancy(k, makeMaxConfig());
+    EXPECT_EQ(lo.wgs_per_cu, hi.wgs_per_cu);
+    EXPECT_EQ(hi.active_wgs, lo.active_wgs * 11);
+}
+
+TEST(OccupancyTest, LimiterNamesAreDistinct)
+{
+    EXPECT_EQ(limiterName(OccupancyLimiter::Registers), "registers");
+    EXPECT_EQ(limiterName(OccupancyLimiter::Lds), "lds");
+    EXPECT_EQ(limiterName(OccupancyLimiter::LaunchSize), "launch-size");
+}
+
+class OccupancyErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(OccupancyErrorTest, OversizedLdsIsFatal)
+{
+    KernelDesc k = baseKernel();
+    k.lds_bytes_per_wg = 128.0 * 1024; // exceeds the CU's 64 KiB
+    EXPECT_THROW(computeOccupancy(k, makeMaxConfig()),
+                 std::runtime_error);
+}
+
+TEST_F(OccupancyErrorTest, WorkgroupBiggerThanCuIsFatal)
+{
+    KernelDesc k = baseKernel();
+    k.work_items_per_wg = 1024; // 16 waves
+    k.vgprs = 256;              // 1 wave per SIMD -> 4 waves per CU
+    EXPECT_THROW(computeOccupancy(k, makeMaxConfig()),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for performance-result types and additional analytic-model
+ * mechanism cases (LDS-bound, L1-bound, barriers, coalescing).
+ */
+
+#include "gpu/perf_result.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpu/analytic_model.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_desc.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+TEST(PerfResultTest, BoundResourceNamesDistinct)
+{
+    std::set<std::string> names;
+    for (const auto r :
+         {BoundResource::Compute, BoundResource::Lds, BoundResource::L1,
+          BoundResource::L2, BoundResource::Dram,
+          BoundResource::Latency, BoundResource::Atomics,
+          BoundResource::Launch}) {
+        EXPECT_TRUE(names.insert(boundResourceName(r)).second);
+    }
+    EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(PerfResultTest, ThroughputIsInverseTime)
+{
+    KernelPerf perf;
+    perf.time_s = 0.25;
+    EXPECT_DOUBLE_EQ(perf.throughput(), 4.0);
+    perf.time_s = 0.0;
+    EXPECT_DOUBLE_EQ(perf.throughput(), 0.0);
+}
+
+KernelDesc
+base()
+{
+    KernelDesc k;
+    k.name = "t/pr/k";
+    k.num_workgroups = 8192;
+    k.work_items_per_wg = 256;
+    k.valu_ops = 10;
+    k.mem_loads = 1;
+    k.mem_stores = 0;
+    k.l1_reuse = 0;
+    k.l2_reuse = 0;
+    return k;
+}
+
+TEST(AnalyticMechanismTest, LdsBoundKernel)
+{
+    KernelDesc k = base();
+    k.lds_ops = 400; // 32 lanes/cycle per CU: dominates everything
+    k.lds_bytes_per_wg = 1024;
+    const AnalyticModel model;
+    const KernelPerf perf = model.estimate(k, makeMaxConfig());
+    EXPECT_EQ(perf.bound, BoundResource::Lds);
+    // LDS runs in the core-clock domain.
+    GpuConfig slow = makeMaxConfig();
+    slow.core_clk_mhz = 500.0;
+    EXPECT_NEAR(model.estimate(k, slow).time_s / perf.time_s, 2.0,
+                0.1);
+}
+
+TEST(AnalyticMechanismTest, L1BoundKernel)
+{
+    KernelDesc k = base();
+    // All hits in the L1 (footprint far below capacity so the
+    // capacity factor saturates at 1), but a torrent of them.
+    k.mem_loads = 60;
+    k.l1_reuse = 1.0;
+    k.footprint_bytes_per_wg = 64;
+    const AnalyticModel model;
+    const KernelPerf perf = model.estimate(k, makeMaxConfig());
+    EXPECT_EQ(perf.bound, BoundResource::L1);
+}
+
+TEST(AnalyticMechanismTest, BarriersSlowLatencyBoundKernels)
+{
+    KernelDesc k = base();
+    k.num_workgroups = 64; // low concurrency: latency regime
+    k.mem_loads = 12;
+    k.mlp = 1.0;
+    const AnalyticModel model;
+    const double without = model.estimate(k, makeMaxConfig()).time_s;
+    k.barriers = 40;
+    const double with_barriers =
+        model.estimate(k, makeMaxConfig()).time_s;
+    EXPECT_GT(with_barriers, without);
+}
+
+TEST(AnalyticMechanismTest, CoalescingScalesDramTraffic)
+{
+    KernelDesc k = base();
+    k.mem_loads = 8;
+    const AnalyticModel model;
+    const KernelPerf coalesced = model.estimate(k, makeMaxConfig());
+    k.coalescing = 0.25;
+    const KernelPerf scattered = model.estimate(k, makeMaxConfig());
+    // 4x the lines moved -> ~4x the DRAM-bound runtime.
+    EXPECT_NEAR(scattered.t_dram / coalesced.t_dram, 4.0, 0.01);
+}
+
+TEST(AnalyticMechanismTest, CacheHitsReduceDramTime)
+{
+    KernelDesc k = base();
+    k.mem_loads = 8;
+    k.footprint_bytes_per_wg = 512; // tiny: fits everywhere
+    const AnalyticModel model;
+    const KernelPerf cold = model.estimate(k, makeMaxConfig());
+    k.l1_reuse = 0.9;
+    const KernelPerf warm = model.estimate(k, makeMaxConfig());
+    EXPECT_LT(warm.t_dram, 0.2 * cold.t_dram);
+    EXPECT_GT(warm.cache.l1_hit_rate, 0.85);
+}
+
+TEST(AnalyticMechanismTest, SfuOpsRunAtQuarterRate)
+{
+    KernelDesc compute = base();
+    compute.valu_ops = 400;
+    KernelDesc sfu = base();
+    sfu.valu_ops = 0;
+    sfu.sfu_ops = 100; // 100 x 4 = 400 issue-cycle equivalents
+    const AnalyticModel model;
+    EXPECT_NEAR(model.estimate(sfu, makeMaxConfig()).t_compute /
+                    model.estimate(compute, makeMaxConfig()).t_compute,
+                1.0, 1e-9);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

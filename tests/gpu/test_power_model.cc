@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the power/energy model.
+ */
+
+#include "gpu/power_model.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "gpu/analytic_model.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_desc.hh"
+#include "workloads/archetypes.hh"
+
+namespace gpuscale {
+namespace gpu {
+namespace {
+
+KernelPerf
+perfFor(const KernelDesc &kernel, const GpuConfig &cfg)
+{
+    return AnalyticModel{}.estimate(kernel, cfg);
+}
+
+TEST(PowerModelTest, VoltageCurveEndpointsAndClamp)
+{
+    const PowerModel model;
+    EXPECT_DOUBLE_EQ(model.voltage(200.0), 0.80);
+    EXPECT_DOUBLE_EQ(model.voltage(1000.0), 1.20);
+    EXPECT_DOUBLE_EQ(model.voltage(600.0), 1.00);
+    // Clamped outside the DVFS range.
+    EXPECT_DOUBLE_EQ(model.voltage(100.0), 0.80);
+    EXPECT_DOUBLE_EQ(model.voltage(2000.0), 1.20);
+}
+
+TEST(PowerModelTest, ComponentsArePositiveAndSum)
+{
+    const PowerModel model;
+    const auto kernel = workloads::denseCompute(
+        "t/p/k", {.wgs = 4096, .wi_per_wg = 256});
+    const auto cfg = makeMaxConfig();
+    const PowerResult p = model.evaluate(cfg, perfFor(kernel, cfg));
+
+    EXPECT_GT(p.core_dynamic_w, 0.0);
+    EXPECT_GT(p.core_static_w, 0.0);
+    EXPECT_GT(p.memory_w, 0.0);
+    EXPECT_GT(p.base_w, 0.0);
+    EXPECT_NEAR(p.total_w,
+                p.core_dynamic_w + p.core_static_w + p.memory_w +
+                    p.base_w,
+                1e-9);
+    EXPECT_GT(p.energy_j, 0.0);
+    EXPECT_GT(p.perf_per_watt, 0.0);
+}
+
+TEST(PowerModelTest, PowerGrowsWithCoreClockSuperlinearly)
+{
+    // P_dyn ~ f V(f)^2: the 5x frequency range spans more than 5x
+    // dynamic power.
+    const PowerModel model;
+    const auto kernel = workloads::denseCompute(
+        "t/p/k", {.wgs = 4096, .wi_per_wg = 256});
+    GpuConfig lo = makeMaxConfig();
+    lo.core_clk_mhz = 200.0;
+    const GpuConfig hi = makeMaxConfig();
+
+    const double p_lo =
+        model.evaluate(lo, perfFor(kernel, lo)).core_dynamic_w;
+    const double p_hi =
+        model.evaluate(hi, perfFor(kernel, hi)).core_dynamic_w;
+    EXPECT_GT(p_hi / p_lo, 5.0);
+    EXPECT_NEAR(p_hi / p_lo, 5.0 * (1.2 * 1.2) / (0.8 * 0.8), 1.5);
+}
+
+TEST(PowerModelTest, IdleArrayDrawsLessThanBusyArray)
+{
+    const PowerModel model;
+    const auto cfg = makeMaxConfig();
+    // Compute-bound: SIMDs busy; memory-bound: SIMDs mostly idle.
+    const auto busy = workloads::denseCompute(
+        "t/busy/k", {.wgs = 4096, .wi_per_wg = 256});
+    const auto idle = workloads::streaming(
+        "t/idle/k", {.wgs = 4096, .wi_per_wg = 256});
+    const double w_busy =
+        model.evaluate(cfg, perfFor(busy, cfg)).core_dynamic_w;
+    const double w_idle =
+        model.evaluate(cfg, perfFor(idle, cfg)).core_dynamic_w;
+    EXPECT_GT(w_busy, 2.0 * w_idle);
+}
+
+TEST(PowerModelTest, StaticPowerScalesWithCus)
+{
+    const PowerModel model;
+    const auto kernel = workloads::streaming(
+        "t/p/k", {.wgs = 4096, .wi_per_wg = 256});
+    GpuConfig small = makeMaxConfig();
+    small.num_cus = 4;
+    const GpuConfig big = makeMaxConfig();
+    const double s_small =
+        model.evaluate(small, perfFor(kernel, small)).core_static_w;
+    const double s_big =
+        model.evaluate(big, perfFor(kernel, big)).core_static_w;
+    EXPECT_NEAR(s_big / s_small, 11.0, 1e-9);
+}
+
+TEST(PowerModelTest, MemoryPowerTracksClockAndUtilization)
+{
+    const PowerModel model;
+    const auto kernel = workloads::streaming(
+        "t/p/k", {.wgs = 16384, .wi_per_wg = 256});
+    GpuConfig lo = makeMaxConfig();
+    lo.mem_clk_mhz = 150.0;
+    const GpuConfig hi = makeMaxConfig();
+    const double m_lo =
+        model.evaluate(lo, perfFor(kernel, lo)).memory_w;
+    const double m_hi =
+        model.evaluate(hi, perfFor(kernel, hi)).memory_w;
+    EXPECT_GT(m_hi, m_lo);
+}
+
+TEST(PowerModelTest, EnergyEfficiencyFavorsRightSizing)
+{
+    // For a memory-bound kernel, a mid-size array at modest clocks
+    // beats the flagship on perf/W.
+    const PowerModel model;
+    const AnalyticModel timing;
+    const auto kernel = workloads::streaming(
+        "t/eff/k", {.wgs = 16384, .wi_per_wg = 256});
+
+    GpuConfig right_sized = makeMaxConfig();
+    right_sized.num_cus = 16;
+    right_sized.core_clk_mhz = 500.0;
+
+    const auto perf_flag = timing.estimate(kernel, makeMaxConfig());
+    const auto perf_right = timing.estimate(kernel, right_sized);
+    const double eff_flag =
+        model.evaluate(makeMaxConfig(), perf_flag).perf_per_watt;
+    const double eff_right =
+        model.evaluate(right_sized, perf_right).perf_per_watt;
+    EXPECT_GT(eff_right, eff_flag);
+}
+
+TEST(PowerModelTest, EdpConsistency)
+{
+    const PowerModel model;
+    const auto kernel = workloads::denseCompute(
+        "t/p/k", {.wgs = 4096, .wi_per_wg = 256});
+    const auto cfg = makeMaxConfig();
+    const auto perf = perfFor(kernel, cfg);
+    const PowerResult p = model.evaluate(cfg, perf);
+    EXPECT_NEAR(p.edp, p.energy_j * perf.time_s, 1e-15);
+}
+
+class PowerModelErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(PowerModelErrorTest, RejectsBadParams)
+{
+    PowerParams bad;
+    bad.f_max_mhz = bad.f_min_mhz;
+    EXPECT_THROW(PowerModel{bad}, std::runtime_error);
+
+    PowerParams bad_v;
+    bad_v.v_max = bad_v.v_min - 0.1;
+    EXPECT_THROW(PowerModel{bad_v}, std::runtime_error);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpuscale

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for k-means clustering and the agreement metrics.
+ */
+
+#include "scaling/cluster.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace gpuscale {
+namespace scaling {
+namespace {
+
+/** Two well-separated blobs in 2D. */
+std::vector<std::vector<double>>
+twoBlobs(size_t per_blob, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> out;
+    for (size_t i = 0; i < per_blob; ++i) {
+        out.push_back({rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)});
+    }
+    for (size_t i = 0; i < per_blob; ++i) {
+        out.push_back({rng.normal(10.0, 0.1), rng.normal(10.0, 0.1)});
+    }
+    return out;
+}
+
+TEST(KmeansTest, SeparatesTwoBlobs)
+{
+    const auto vectors = twoBlobs(50, 1);
+    const ClusterResult result = kmeans(vectors, 2, 7);
+
+    // All points in the first half share a cluster, all in the second
+    // half share the other.
+    const int first = result.assignment[0];
+    const int second = result.assignment[50];
+    EXPECT_NE(first, second);
+    for (size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(result.assignment[i], first);
+    for (size_t i = 50; i < 100; ++i)
+        EXPECT_EQ(result.assignment[i], second);
+    EXPECT_LT(result.inertia, 10.0);
+}
+
+TEST(KmeansTest, Deterministic)
+{
+    const auto vectors = twoBlobs(30, 2);
+    const ClusterResult a = kmeans(vectors, 3, 99);
+    const ClusterResult b = kmeans(vectors, 3, 99);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KmeansTest, KEqualsNGivesZeroInertia)
+{
+    std::vector<std::vector<double>> vectors{
+        {0, 0}, {1, 1}, {2, 2}, {3, 3}};
+    const ClusterResult result = kmeans(vectors, 4, 1);
+    EXPECT_NEAR(result.inertia, 0.0, 1e-18);
+}
+
+TEST(KmeansTest, SingleClusterCentroidIsMean)
+{
+    std::vector<std::vector<double>> vectors{{0, 0}, {2, 0}, {4, 6}};
+    const ClusterResult result = kmeans(vectors, 1, 1);
+    ASSERT_EQ(result.centroids.size(), 1u);
+    EXPECT_NEAR(result.centroids[0][0], 2.0, 1e-12);
+    EXPECT_NEAR(result.centroids[0][1], 2.0, 1e-12);
+}
+
+TEST(KmeansTest, InertiaDecreasesWithK)
+{
+    const auto vectors = twoBlobs(40, 5);
+    double prev = 1e300;
+    for (int k = 1; k <= 4; ++k) {
+        const double inertia = kmeans(vectors, k, 11).inertia;
+        EXPECT_LE(inertia, prev * (1 + 1e-9));
+        prev = inertia;
+    }
+}
+
+KernelClassification
+labelled(const std::string &name, TaxonomyClass cls)
+{
+    KernelClassification c;
+    c.kernel = name;
+    c.cls = cls;
+    return c;
+}
+
+TEST(AgreementTest, PurityPerfectAndMixed)
+{
+    const std::vector<KernelClassification> labels{
+        labelled("a", TaxonomyClass::CoreBound),
+        labelled("b", TaxonomyClass::CoreBound),
+        labelled("c", TaxonomyClass::MemoryBound),
+        labelled("d", TaxonomyClass::MemoryBound)};
+
+    EXPECT_DOUBLE_EQ(clusterPurity({0, 0, 1, 1}, labels), 1.0);
+    EXPECT_DOUBLE_EQ(clusterPurity({0, 1, 0, 1}, labels), 0.5);
+    // One cluster holding everything: purity = majority share.
+    EXPECT_DOUBLE_EQ(clusterPurity({0, 0, 0, 0}, labels), 0.5);
+}
+
+TEST(AgreementTest, AriPerfectAndIndependent)
+{
+    const std::vector<KernelClassification> labels{
+        labelled("a", TaxonomyClass::CoreBound),
+        labelled("b", TaxonomyClass::CoreBound),
+        labelled("c", TaxonomyClass::MemoryBound),
+        labelled("d", TaxonomyClass::MemoryBound)};
+
+    EXPECT_NEAR(adjustedRandIndex({0, 0, 1, 1}, labels), 1.0, 1e-12);
+    // Label permutation does not matter.
+    EXPECT_NEAR(adjustedRandIndex({5, 5, 2, 2}, labels), 1.0, 1e-12);
+    // A partition splitting each class evenly scores low.
+    EXPECT_LT(adjustedRandIndex({0, 1, 0, 1}, labels), 0.1);
+}
+
+TEST(AgreementTest, AriHandlesSingletonPartitions)
+{
+    const std::vector<KernelClassification> labels{
+        labelled("a", TaxonomyClass::CoreBound),
+        labelled("b", TaxonomyClass::CoreBound)};
+    // Both partitions are single-cluster: identical.
+    EXPECT_NEAR(adjustedRandIndex({0, 0}, labels), 1.0, 1e-12);
+}
+
+class ClusterErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(ClusterErrorTest, RejectsBadInputs)
+{
+    std::vector<std::vector<double>> vectors{{1, 2}, {3, 4}};
+    EXPECT_THROW(kmeans(vectors, 0, 1), std::runtime_error);
+    EXPECT_THROW(kmeans(vectors, 3, 1), std::runtime_error);
+
+    std::vector<std::vector<double>> ragged{{1, 2}, {3}};
+    EXPECT_THROW(kmeans(ragged, 1, 1), std::runtime_error);
+
+    EXPECT_THROW(clusterPurity({0}, {}), std::runtime_error);
+}
+
+} // namespace
+} // namespace scaling
+} // namespace gpuscale

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the template-based scaling predictor.
+ */
+
+#include "scaling/predictor.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "gpu/analytic_model.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "workloads/archetypes.hh"
+
+namespace gpuscale {
+namespace scaling {
+namespace {
+
+const harness::CensusResult &
+census()
+{
+    static const harness::CensusResult result =
+        harness::runCensus(gpu::AnalyticModel{});
+    return result;
+}
+
+const ScalingPredictor &
+predictor()
+{
+    static const ScalingPredictor p(census().surfaces,
+                                    census().classifications);
+    return p;
+}
+
+std::vector<double>
+probeRuntimes(const ScalingSurface &surface,
+              const std::vector<size_t> &probes)
+{
+    std::vector<double> out;
+    for (size_t idx : probes)
+        out.push_back(surface.runtimes()[idx]);
+    return out;
+}
+
+TEST(PredictorTest, LearnsOneTemplatePerPopulatedClass)
+{
+    const auto hist = classHistogram(census().classifications);
+    size_t populated = 0;
+    for (size_t n : hist)
+        populated += n > 0;
+    EXPECT_EQ(predictor().numTemplates(), populated);
+}
+
+TEST(PredictorTest, DefaultProbesAreDistinctCorners)
+{
+    const auto probes =
+        ScalingPredictor::defaultProbes(census().space);
+    EXPECT_EQ(probes.size(), 6u);
+    std::set<size_t> unique(probes.begin(), probes.end());
+    EXPECT_EQ(unique.size(), probes.size());
+    for (size_t idx : probes)
+        EXPECT_LT(idx, census().space.size());
+}
+
+TEST(PredictorTest, PredictsTrainingMembersAccurately)
+{
+    // In-sample sanity: predicting a training kernel from its own
+    // probes should land close to its surface.
+    const auto probes =
+        ScalingPredictor::defaultProbes(census().space);
+    const auto &surface = census().surfaces.front();
+    const auto predicted = predictor().predict(
+        probes, probeRuntimes(surface, probes));
+    const auto err =
+        evaluatePrediction(predicted, surface.runtimes());
+    EXPECT_LT(err.median_ape, 0.35);
+}
+
+TEST(PredictorTest, MatchClassRecoversStrongClasses)
+{
+    // A fresh core-bound kernel (not in the zoo) should match the
+    // core-bound template from its probes alone.
+    const gpu::AnalyticModel model;
+    const auto kernel = workloads::denseCompute(
+        "fresh/dense/k", {.wgs = 6000, .wi_per_wg = 256,
+                          .launches = 1, .intensity = 1.7});
+    const auto surface =
+        harness::sweepKernel(model, kernel, census().space);
+    const auto probes =
+        ScalingPredictor::defaultProbes(census().space);
+    EXPECT_EQ(predictor().matchClass(
+                  probes, probeRuntimes(surface, probes)),
+              TaxonomyClass::CoreBound);
+}
+
+TEST(PredictorTest, PredictsUnseenKernelWithinTolerance)
+{
+    const gpu::AnalyticModel model;
+    const auto kernel = workloads::streaming(
+        "fresh/stream/k", {.wgs = 12000, .wi_per_wg = 256,
+                           .launches = 1, .intensity = 0.7});
+    const auto surface =
+        harness::sweepKernel(model, kernel, census().space);
+    const auto probes =
+        ScalingPredictor::defaultProbes(census().space);
+    const auto predicted = predictor().predict(
+        probes, probeRuntimes(surface, probes));
+    const auto err =
+        evaluatePrediction(predicted, surface.runtimes());
+    EXPECT_LT(err.mape, 0.30);
+}
+
+TEST(PredictorTest, MoreProbesNeverHurtMuch)
+{
+    const gpu::AnalyticModel model;
+    const auto kernel = workloads::stencil(
+        "fresh/sten/k", {.wgs = 3000, .wi_per_wg = 256}, 24.0);
+    const auto surface =
+        harness::sweepKernel(model, kernel, census().space);
+
+    // 2 probes: grid corners only.
+    const std::vector<size_t> two{0, census().space.size() - 1};
+    const auto err2 = evaluatePrediction(
+        predictor().predict(two, probeRuntimes(surface, two)),
+        surface.runtimes());
+
+    const auto six = ScalingPredictor::defaultProbes(census().space);
+    const auto err6 = evaluatePrediction(
+        predictor().predict(six, probeRuntimes(surface, six)),
+        surface.runtimes());
+    EXPECT_LE(err6.mape, err2.mape * 1.5);
+}
+
+TEST(PredictorTest, ScaleInvariance)
+{
+    // Scaling all probe runtimes by k scales the prediction by k.
+    const auto probes =
+        ScalingPredictor::defaultProbes(census().space);
+    const auto &surface = census().surfaces.front();
+    auto runtimes = probeRuntimes(surface, probes);
+    const auto base = predictor().predict(probes, runtimes);
+    for (double &r : runtimes)
+        r *= 7.0;
+    const auto scaled = predictor().predict(probes, runtimes);
+    for (size_t i = 0; i < base.size(); ++i)
+        EXPECT_NEAR(scaled[i] / base[i], 7.0, 1e-9);
+}
+
+class PredictorErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(PredictorErrorTest, RejectsBadInput)
+{
+    const std::vector<size_t> probes{0};
+    const std::vector<double> bad_runtime{-1.0};
+    EXPECT_THROW(predictor().predict(probes, bad_runtime),
+                 std::runtime_error);
+
+    const std::vector<size_t> out_of_range{99999};
+    const std::vector<double> ok{1.0};
+    EXPECT_THROW(predictor().predict(out_of_range, ok),
+                 std::runtime_error);
+
+    EXPECT_THROW(predictor().predict({}, {}), std::runtime_error);
+}
+
+} // namespace
+} // namespace scaling
+} // namespace gpuscale

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the curve-shape classifier on synthetic curves with known
+ * shapes, plus threshold-sensitivity checks.
+ */
+
+#include "scaling/shape.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace scaling {
+namespace {
+
+const std::vector<double> kKnob{4, 8, 12, 16, 20, 24, 28, 32, 36, 40,
+                                44};
+
+std::vector<double>
+map(double (*fn)(double))
+{
+    std::vector<double> out;
+    for (double x : kKnob)
+        out.push_back(fn(x));
+    return out;
+}
+
+TEST(ShapeTest, LinearCurve)
+{
+    const ShapeVerdict v =
+        classifyCurve(kKnob, map([](double x) { return 2.0 * x; }));
+    EXPECT_EQ(v.shape, CurveShape::Linear);
+    EXPECT_NEAR(v.total_gain, 11.0, 1e-9);
+    EXPECT_NEAR(v.efficiency, 1.0, 1e-9);
+    EXPECT_NEAR(v.linearity_r2, 1.0, 1e-9);
+}
+
+TEST(ShapeTest, SublinearCurve)
+{
+    // sqrt growth: monotone, ~3.3x over an 11x knob.
+    const ShapeVerdict v =
+        classifyCurve(kKnob, map([](double x) { return std::sqrt(x); }));
+    EXPECT_EQ(v.shape, CurveShape::Sublinear);
+    EXPECT_LT(v.efficiency, 0.7);
+    EXPECT_GT(v.total_gain, 1.15);
+}
+
+TEST(ShapeTest, PlateauCurve)
+{
+    // Saturates at knob = 12 (27% of the range).
+    const ShapeVerdict v = classifyCurve(
+        kKnob, map([](double x) { return std::min(x, 12.0); }));
+    EXPECT_EQ(v.shape, CurveShape::Plateau);
+    EXPECT_LE(v.saturation_knob, 16.0);
+}
+
+TEST(ShapeTest, FlatCurve)
+{
+    const ShapeVerdict v = classifyCurve(
+        kKnob, map([](double x) { return 5.0 + 0.0001 * x; }));
+    EXPECT_EQ(v.shape, CurveShape::Flat);
+    EXPECT_LT(v.total_gain, 1.15);
+}
+
+TEST(ShapeTest, AdverseCurve)
+{
+    // Rises to a peak at ~8 CUs, then collapses well below it — the
+    // paper's signature "more CUs hurt" curve.  Note the end is still
+    // above the start; the loss is measured against the peak.
+    const ShapeVerdict v = classifyCurve(
+        kKnob, map([](double x) { return x < 10 ? x : 10.0 - 0.1 * x; }));
+    EXPECT_EQ(v.shape, CurveShape::Adverse);
+    EXPECT_GT(v.total_gain, 1.0);
+}
+
+TEST(ShapeTest, MonotoneDeclineIsAdverse)
+{
+    const ShapeVerdict v = classifyCurve(
+        kKnob, map([](double x) { return 10.0 / x; }));
+    EXPECT_EQ(v.shape, CurveShape::Adverse);
+    EXPECT_DOUBLE_EQ(v.monotone_fraction, 0.0);
+}
+
+TEST(ShapeTest, MildDeclineIsNotAdverse)
+{
+    // Ends 5% below the start: salient feature is flatness, not loss.
+    const ShapeVerdict v = classifyCurve(
+        kKnob, map([](double x) { return 1.0 - 0.0012 * x; }));
+    EXPECT_EQ(v.shape, CurveShape::Flat);
+}
+
+TEST(ShapeTest, SawtoothIsIrregular)
+{
+    std::vector<double> perf;
+    for (size_t i = 0; i < kKnob.size(); ++i)
+        perf.push_back(2.0 + (i % 2 == 0 ? 1.0 : -0.5) +
+                       0.1 * static_cast<double>(i));
+    const ShapeVerdict v = classifyCurve(kKnob, perf);
+    EXPECT_EQ(v.shape, CurveShape::Irregular);
+}
+
+TEST(ShapeTest, SaturationKnobDetected)
+{
+    const ShapeVerdict v = classifyCurve(
+        kKnob, map([](double x) { return std::min(x, 20.0); }));
+    EXPECT_NEAR(v.saturation_knob, 20.0, 4.0);
+}
+
+TEST(ShapeTest, ThresholdsAreRespected)
+{
+    // With a stricter linear_fraction the same sub-proportional curve
+    // demotes from Linear to Sublinear.
+    const auto perf = map([](double x) { return std::pow(x, 0.85); });
+    ShapeParams lenient;
+    lenient.linear_fraction = 0.5;
+    ShapeParams strict;
+    strict.linear_fraction = 0.9;
+    EXPECT_EQ(classifyCurve(kKnob, perf, lenient).shape,
+              CurveShape::Linear);
+    EXPECT_EQ(classifyCurve(kKnob, perf, strict).shape,
+              CurveShape::Sublinear);
+}
+
+TEST(ShapeTest, NamesAreStable)
+{
+    EXPECT_EQ(shapeName(CurveShape::Linear), "linear");
+    EXPECT_EQ(shapeName(CurveShape::Adverse), "adverse");
+    EXPECT_EQ(shapeName(CurveShape::Irregular), "irregular");
+}
+
+class ShapeErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowOnTerminate(true); }
+    void TearDown() override { setLogThrowOnTerminate(false); }
+};
+
+TEST_F(ShapeErrorTest, RejectsMalformedInput)
+{
+    const std::vector<double> k3{1, 2, 3};
+    EXPECT_THROW(classifyCurve(std::vector<double>{1, 2},
+                               std::vector<double>{1, 2}),
+                 std::runtime_error);
+    EXPECT_THROW(classifyCurve(k3, std::vector<double>{1, 2}),
+                 std::runtime_error);
+    EXPECT_THROW(classifyCurve(k3, std::vector<double>{1, 0, 2}),
+                 std::runtime_error);
+    EXPECT_THROW(classifyCurve(std::vector<double>{1, 3, 2},
+                               std::vector<double>{1, 2, 3}),
+                 std::runtime_error);
+}
+
+/**
+ * Property: every curve classifies to exactly one shape, and the
+ * verdict's summary statistics are finite.
+ */
+class ShapeTotalityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ShapeTotalityTest, TotalOnPolynomialFamily)
+{
+    const double exponent = GetParam() * 0.25 - 1.0; // -1.0 .. 1.5
+    std::vector<double> perf;
+    for (double x : kKnob)
+        perf.push_back(std::pow(x, exponent));
+    const ShapeVerdict v = classifyCurve(kKnob, perf);
+    EXPECT_TRUE(std::isfinite(v.total_gain));
+    EXPECT_TRUE(std::isfinite(v.efficiency));
+    EXPECT_GE(v.monotone_fraction, 0.0);
+    EXPECT_LE(v.monotone_fraction, 1.0);
+    EXPECT_GE(v.saturation_knob, kKnob.front());
+    EXPECT_LE(v.saturation_knob, kKnob.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ShapeTotalityTest,
+                         ::testing::Range(0, 11));
+
+} // namespace
+} // namespace scaling
+} // namespace gpuscale

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for per-suite scalability aggregation.
+ */
+
+#include "scaling/suite_analysis.hh"
+
+#include <gtest/gtest.h>
+
+namespace gpuscale {
+namespace scaling {
+namespace {
+
+KernelClassification
+entry(const std::string &name, TaxonomyClass cls, int cu90)
+{
+    KernelClassification c;
+    c.kernel = name;
+    c.cls = cls;
+    c.cu90 = cu90;
+    return c;
+}
+
+TEST(SuiteOfKernelTest, ExtractsPrefix)
+{
+    EXPECT_EQ(suiteOfKernel("rodinia/bfs/kernel1"), "rodinia");
+    EXPECT_EQ(suiteOfKernel("noslash"), "noslash");
+}
+
+TEST(SuiteAnalysisTest, GroupsAndCounts)
+{
+    const std::vector<KernelClassification> cs{
+        entry("alpha/a/k1", TaxonomyClass::CoreBound, 44),
+        entry("alpha/a/k2", TaxonomyClass::ParallelismStarved, 12),
+        entry("beta/b/k1", TaxonomyClass::MemoryBound, 24),
+    };
+    const auto reports = analyzeSuites(cs, 44);
+    ASSERT_EQ(reports.size(), 2u);
+
+    const SuiteReport &alpha = reports[0];
+    EXPECT_EQ(alpha.suite, "alpha");
+    EXPECT_EQ(alpha.kernels, 2u);
+    EXPECT_EQ(alpha.class_counts[static_cast<size_t>(
+                  TaxonomyClass::CoreBound)],
+              1u);
+    EXPECT_EQ(alpha.class_counts[static_cast<size_t>(
+                  TaxonomyClass::ParallelismStarved)],
+              1u);
+    EXPECT_DOUBLE_EQ(alpha.median_cu90, 28.0); // midpoint of 12, 44
+    EXPECT_DOUBLE_EQ(alpha.frac_non_scaling, 0.5);
+    EXPECT_DOUBLE_EQ(alpha.frac_saturating, 0.5);
+
+    const SuiteReport &beta = reports[1];
+    EXPECT_EQ(beta.kernels, 1u);
+    EXPECT_DOUBLE_EQ(beta.frac_saturating, 1.0);
+    EXPECT_DOUBLE_EQ(beta.frac_non_scaling, 0.0);
+}
+
+TEST(SuiteAnalysisTest, PreservesFirstSeenOrder)
+{
+    const std::vector<KernelClassification> cs{
+        entry("zeta/a/k", TaxonomyClass::CoreBound, 44),
+        entry("alpha/a/k", TaxonomyClass::CoreBound, 44),
+        entry("zeta/b/k", TaxonomyClass::CoreBound, 44),
+    };
+    const auto reports = analyzeSuites(cs, 44);
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].suite, "zeta");
+    EXPECT_EQ(reports[1].suite, "alpha");
+}
+
+TEST(SuiteAnalysisTest, NonScalingClasses)
+{
+    const std::vector<KernelClassification> cs{
+        entry("s/a/k1", TaxonomyClass::LaunchBound, 4),
+        entry("s/a/k2", TaxonomyClass::CuAdverse, 4),
+        entry("s/a/k3", TaxonomyClass::ParallelismStarved, 8),
+        entry("s/a/k4", TaxonomyClass::Balanced, 44),
+    };
+    const auto reports = analyzeSuites(cs, 44);
+    EXPECT_DOUBLE_EQ(reports[0].frac_non_scaling, 0.75);
+}
+
+TEST(SuiteAnalysisTest, PercentilesOfCu90)
+{
+    std::vector<KernelClassification> cs;
+    for (int cu = 4; cu <= 44; cu += 4)
+        cs.push_back(entry("s/p/k" + std::to_string(cu),
+                           TaxonomyClass::CoreBound, cu));
+    const auto reports = analyzeSuites(cs, 44);
+    EXPECT_DOUBLE_EQ(reports[0].median_cu90, 24.0);
+    // Rank 0.9 * 10 = 9 in the sorted 11-element list -> 40.
+    EXPECT_DOUBLE_EQ(reports[0].p90_cu90, 40.0);
+}
+
+} // namespace
+} // namespace scaling
+} // namespace gpuscale

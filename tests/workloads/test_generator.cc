@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the random kernel generator.
+ */
+
+#include "workloads/generator.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gpuscale {
+namespace workloads {
+namespace {
+
+TEST(GeneratorTest, SameSeedSameKernels)
+{
+    KernelGenerator a(42), b(42);
+    for (int i = 0; i < 50; ++i) {
+        const auto ka = a.next();
+        const auto kb = b.next();
+        EXPECT_EQ(ka.name, kb.name);
+        EXPECT_EQ(ka.num_workgroups, kb.num_workgroups);
+        EXPECT_DOUBLE_EQ(ka.valu_ops, kb.valu_ops);
+        EXPECT_DOUBLE_EQ(ka.mem_loads, kb.mem_loads);
+        EXPECT_DOUBLE_EQ(ka.footprint_bytes_per_wg,
+                         kb.footprint_bytes_per_wg);
+    }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer)
+{
+    KernelGenerator a(1), b(2);
+    int identical = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (a.next().valu_ops == b.next().valu_ops)
+            ++identical;
+    }
+    EXPECT_LT(identical, 3);
+}
+
+TEST(GeneratorTest, AllKernelsValidate)
+{
+    KernelGenerator gen(7);
+    for (const auto &k : gen.batch(1000))
+        EXPECT_NO_THROW(k.validate()) << k.name;
+}
+
+TEST(GeneratorTest, NamesAreUnique)
+{
+    KernelGenerator gen(7);
+    std::set<std::string> names;
+    for (const auto &k : gen.batch(500))
+        EXPECT_TRUE(names.insert(k.name).second) << k.name;
+}
+
+TEST(GeneratorTest, RespectsBounds)
+{
+    GeneratorBounds bounds;
+    bounds.min_wgs = 8;
+    bounds.max_wgs = 64;
+    bounds.min_wi = 64;
+    bounds.max_wi = 128;
+    bounds.max_launches = 10;
+    KernelGenerator gen(3, bounds);
+    for (const auto &k : gen.batch(200)) {
+        EXPECT_GE(k.num_workgroups, 8);
+        EXPECT_LE(k.num_workgroups, 64);
+        EXPECT_GE(k.work_items_per_wg, 64);
+        EXPECT_LE(k.work_items_per_wg, 128);
+        EXPECT_LE(k.launches, 10);
+    }
+}
+
+TEST(GeneratorTest, CoversDiverseRegimes)
+{
+    // The sampler should produce kernels with and without LDS,
+    // atomics, divergence, and serial fractions.
+    KernelGenerator gen(11);
+    int with_lds = 0, with_atomics = 0, with_div = 0, with_serial = 0;
+    const auto batch = gen.batch(500);
+    for (const auto &k : batch) {
+        with_lds += k.lds_ops > 0;
+        with_atomics += k.atomic_ops > 0;
+        with_div += k.branch_divergence > 0;
+        with_serial += k.serial_fraction > 0;
+    }
+    EXPECT_GT(with_lds, 100);
+    EXPECT_LT(with_lds, 400);
+    EXPECT_GT(with_atomics, 40);
+    EXPECT_GT(with_div, 100);
+    EXPECT_GT(with_serial, 20);
+}
+
+TEST(GeneratorTest, BatchEqualsRepeatedNext)
+{
+    KernelGenerator a(9), b(9);
+    const auto batch = a.batch(20);
+    for (const auto &expected : batch) {
+        const auto k = b.next();
+        EXPECT_EQ(k.name, expected.name);
+        EXPECT_DOUBLE_EQ(k.valu_ops, expected.valu_ops);
+    }
+}
+
+} // namespace
+} // namespace workloads
+} // namespace gpuscale

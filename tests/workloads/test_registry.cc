@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the workload registry: the census must match the paper's
+ * population exactly, and every descriptor must be well-formed.
+ */
+
+#include "workloads/registry.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gpuscale {
+namespace workloads {
+namespace {
+
+TEST(RegistryTest, PaperPopulation)
+{
+    const auto &reg = WorkloadRegistry::instance();
+    EXPECT_EQ(reg.numPrograms(), 97u);
+    EXPECT_EQ(reg.numKernels(), 267u);
+}
+
+TEST(RegistryTest, SevenSuites)
+{
+    const auto suites = WorkloadRegistry::instance().suiteNames();
+    EXPECT_EQ(suites.size(), 7u);
+    const std::set<std::string> expected{
+        "rodinia", "parboil", "shoc", "amdsdk",
+        "polybench", "opendwarfs", "pannotia"};
+    EXPECT_EQ(std::set<std::string>(suites.begin(), suites.end()),
+              expected);
+}
+
+TEST(RegistryTest, CensusRowsSumToTotal)
+{
+    const auto rows = WorkloadRegistry::instance().census();
+    ASSERT_EQ(rows.size(), 8u); // 7 suites + total
+    size_t programs = 0, kernels = 0;
+    for (size_t i = 0; i + 1 < rows.size(); ++i) {
+        programs += rows[i].programs;
+        kernels += rows[i].kernels;
+    }
+    EXPECT_EQ(rows.back().suite, "total");
+    EXPECT_EQ(rows.back().programs, programs);
+    EXPECT_EQ(rows.back().kernels, kernels);
+}
+
+TEST(RegistryTest, KernelNamesAreCanonicalAndUnique)
+{
+    const auto kernels = WorkloadRegistry::instance().allKernels();
+    std::set<std::string> names;
+    for (const auto *k : kernels) {
+        // suite/program/kernel form: exactly two slashes.
+        const size_t first = k->name.find('/');
+        const size_t last = k->name.rfind('/');
+        EXPECT_NE(first, std::string::npos) << k->name;
+        EXPECT_NE(first, last) << k->name;
+        EXPECT_TRUE(names.insert(k->name).second)
+            << "duplicate kernel name: " << k->name;
+    }
+    EXPECT_EQ(names.size(), 267u);
+}
+
+TEST(RegistryTest, EveryKernelValidates)
+{
+    for (const auto *k : WorkloadRegistry::instance().allKernels())
+        EXPECT_NO_THROW(k->validate()) << k->name;
+}
+
+TEST(RegistryTest, FindKernel)
+{
+    const auto &reg = WorkloadRegistry::instance();
+    const auto *k = reg.findKernel("rodinia/hotspot/calculate_temp");
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k->name, "rodinia/hotspot/calculate_temp");
+    EXPECT_EQ(reg.findKernel("no/such/kernel"), nullptr);
+}
+
+TEST(RegistryTest, SuiteLookupsConsistent)
+{
+    const auto &reg = WorkloadRegistry::instance();
+    size_t total = 0;
+    for (const auto &suite : reg.suiteNames()) {
+        const auto programs = reg.programsInSuite(suite);
+        const auto kernels = reg.kernelsInSuite(suite);
+        EXPECT_FALSE(programs.empty());
+        size_t from_programs = 0;
+        for (const auto *p : programs)
+            from_programs += p->kernels().size();
+        EXPECT_EQ(kernels.size(), from_programs);
+        total += kernels.size();
+    }
+    EXPECT_EQ(total, 267u);
+}
+
+TEST(RegistryTest, LaunchGeometryIsRealistic)
+{
+    for (const auto *k : WorkloadRegistry::instance().allKernels()) {
+        EXPECT_GE(k->num_workgroups, 1) << k->name;
+        EXPECT_LE(k->num_workgroups, 1 << 20) << k->name;
+        EXPECT_LE(k->launches, 100000) << k->name;
+        EXPECT_LE(k->vgprs, 256) << k->name;
+    }
+}
+
+} // namespace
+} // namespace workloads
+} // namespace gpuscale
