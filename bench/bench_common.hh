@@ -14,11 +14,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "base/logging.hh"
 #include "gpu/analytic_model.hh"
 #include "harness/experiment.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace gpuscale {
 namespace bench {
@@ -44,19 +48,46 @@ banner(const std::string &id, const std::string &title)
 }
 
 /**
- * Standard main: run benchmarks, then emit the artifact.
+ * Print the telemetry gathered while the binary ran, so every bench
+ * report carries its own instrumented timings (estimate counts and
+ * latency percentiles, worker balance).  Honors:
+ *   GPUSCALE_METRICS=FILE  also write the JSON snapshot to FILE.
+ */
+inline void
+emitInstrumentation()
+{
+    auto &registry = obs::Registry::instance();
+    if (registry.empty())
+        return;
+    banner("OBS", "run telemetry (see docs/observability.md)");
+    std::printf("%s", registry.snapshotTable().render().c_str());
+    if (const char *path = std::getenv("GPUSCALE_METRICS")) {
+        std::ofstream os(path);
+        fatal_if(!os, "cannot write metrics file %s", path);
+        os << registry.snapshotJson() << '\n';
+    }
+}
+
+/**
+ * Standard main: run benchmarks, then emit the artifact and the
+ * telemetry gathered along the way.  Honors:
+ *   GPUSCALE_TRACE=FILE  capture a Chrome/Perfetto span trace.
  *
  * @param emit callback printing the reproduced table/figure.
  */
 inline int
 benchMain(int argc, char **argv, void (*emit)())
 {
+    if (const char *trace = std::getenv("GPUSCALE_TRACE"))
+        obs::TraceSession::start(trace);
     ::benchmark::Initialize(&argc, argv);
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     emit();
+    emitInstrumentation();
+    obs::TraceSession::stop();
     return 0;
 }
 

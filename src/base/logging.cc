@@ -5,8 +5,12 @@
 
 #include "logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -14,13 +18,64 @@ namespace gpuscale {
 
 namespace {
 
+/**
+ * Serializes sink installation and message emission: parallelFor
+ * workers may warn() while a test thread swaps the sink.
+ */
+std::mutex g_log_mu;
 LogSink g_sink = nullptr;
-bool g_throw_on_terminate = false;
+std::atomic<bool> g_throw_on_terminate{false};
+
+/** Minimum emitted level; initialized once from GPUSCALE_LOG. */
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("GPUSCALE_LOG");
+    if (env == nullptr)
+        return LogLevel::Inform;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "inform") == 0)
+        return LogLevel::Inform;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "quiet") == 0)
+        return LogLevel::Fatal;
+    std::fprintf(stderr,
+                 "warn: unknown GPUSCALE_LOG level '%s' "
+                 "(want debug|info|warn|quiet)\n",
+                 env);
+    return LogLevel::Inform;
+}
+
+std::atomic<int> &
+minLevel()
+{
+    static std::atomic<int> level{static_cast<int>(levelFromEnv())};
+    return level;
+}
+
+/**
+ * Force the GPUSCALE_LOG parse (and its unknown-value warning) at
+ * startup; lazy init would swallow the warning in runs that only hit
+ * Fatal/Panic, which bypass the minimum-level load.
+ */
+const int g_env_level_init = static_cast<int>(
+    minLevel().load(std::memory_order_relaxed));
+
+/** Epoch for the monotonic timestamps; fixed at first logging use. */
+std::chrono::steady_clock::time_point
+logEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
 
 const char *
 levelTag(LogLevel level)
 {
     switch (level) {
+      case LogLevel::Debug:  return "debug";
       case LogLevel::Inform: return "info";
       case LogLevel::Warn:   return "warn";
       case LogLevel::Fatal:  return "fatal";
@@ -30,6 +85,38 @@ levelTag(LogLevel level)
 }
 
 } // namespace
+
+void
+setLogLevel(LogLevel min_level)
+{
+    minLevel().store(static_cast<int>(min_level),
+                     std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        minLevel().load(std::memory_order_relaxed));
+}
+
+bool
+logLevelEnabled(LogLevel level)
+{
+    // Terminating levels always emit.
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        return true;
+    return static_cast<int>(level) >=
+           minLevel().load(std::memory_order_relaxed);
+}
+
+double
+logElapsedSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - logEpoch())
+        .count();
+}
 
 std::string
 vstrprintf(const char *fmt, va_list args)
@@ -59,28 +146,35 @@ strprintf(const char *fmt, ...)
 void
 setLogSink(LogSink sink)
 {
+    std::lock_guard<std::mutex> lock(g_log_mu);
     g_sink = sink;
 }
 
 void
 setLogThrowOnTerminate(bool enable)
 {
-    g_throw_on_terminate = enable;
+    g_throw_on_terminate.store(enable, std::memory_order_relaxed);
 }
 
 void
 logMessage(LogLevel level, const char *file, int line,
            const std::string &message)
 {
+    if (!logLevelEnabled(level))
+        return;
+
+    const double elapsed = logElapsedSeconds();
+    std::lock_guard<std::mutex> lock(g_log_mu);
     if (g_sink) {
         g_sink(level, message);
         return;
     }
     if (level == LogLevel::Inform) {
-        std::fprintf(stdout, "%s: %s\n", levelTag(level), message.c_str());
+        std::fprintf(stdout, "[%9.4f] %s: %s\n", elapsed,
+                     levelTag(level), message.c_str());
     } else {
-        std::fprintf(stderr, "%s: %s (%s:%d)\n", levelTag(level),
-                     message.c_str(), file, line);
+        std::fprintf(stderr, "[%9.4f] %s: %s (%s:%d)\n", elapsed,
+                     levelTag(level), message.c_str(), file, line);
     }
 }
 
@@ -92,7 +186,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
     logMessage(LogLevel::Panic, file, line, msg);
-    if (g_throw_on_terminate)
+    if (g_throw_on_terminate.load(std::memory_order_relaxed))
         throw std::runtime_error("panic: " + msg);
     std::abort();
 }
@@ -105,7 +199,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
     logMessage(LogLevel::Fatal, file, line, msg);
-    if (g_throw_on_terminate)
+    if (g_throw_on_terminate.load(std::memory_order_relaxed))
         throw std::runtime_error("fatal: " + msg);
     std::exit(1);
 }
@@ -113,6 +207,8 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *file, int line, const char *fmt, ...)
 {
+    if (!logLevelEnabled(LogLevel::Warn))
+        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
@@ -123,11 +219,27 @@ warnImpl(const char *file, int line, const char *fmt, ...)
 void
 informImpl(const char *file, int line, const char *fmt, ...)
 {
+    if (!logLevelEnabled(LogLevel::Inform))
+        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
     logMessage(LogLevel::Inform, file, line, msg);
+}
+
+void
+debugImpl(const char *file, int line, const char *fmt, ...)
+{
+    // Check before formatting: debuglog() in hot paths must cost a
+    // single relaxed load when disabled.
+    if (!logLevelEnabled(LogLevel::Debug))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    logMessage(LogLevel::Debug, file, line, msg);
 }
 
 } // namespace gpuscale

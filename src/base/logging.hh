@@ -10,6 +10,17 @@
  *              nonzero status but does not abort.
  *  - warn():   something is suspicious but the run can continue.
  *  - inform(): plain status output.
+ *  - debuglog(): developer diagnostics, hidden by default.
+ *
+ * Verbosity is a ladder: messages below the minimum level (default
+ * Inform) are dropped before formatting reaches the sink.  The
+ * minimum comes from the GPUSCALE_LOG environment variable ("debug",
+ * "info", "warn", or "quiet") and can be overridden programmatically
+ * with setLogLevel().  Fatal/Panic always emit.
+ *
+ * All entry points are thread-safe: parallelFor workers may warn()
+ * concurrently, and emitted lines carry a monotonic [seconds-since-
+ * start] timestamp so interleaved output stays attributable.
  */
 
 #ifndef GPUSCALE_BASE_LOGGING_HH
@@ -22,11 +33,27 @@ namespace gpuscale {
 
 /** Severity levels understood by the logging backend. */
 enum class LogLevel {
+    Debug,
     Inform,
     Warn,
     Fatal,
     Panic,
 };
+
+/**
+ * Set the minimum level that is emitted (Fatal/Panic always are).
+ * Overrides the GPUSCALE_LOG environment variable.
+ */
+void setLogLevel(LogLevel min_level);
+
+/** The current minimum emitted level. */
+LogLevel logLevel();
+
+/** Would a message at this level be emitted right now? */
+bool logLevelEnabled(LogLevel level);
+
+/** Monotonic seconds since the process started logging. */
+double logElapsedSeconds();
 
 /**
  * Render a printf-style format string into a std::string.
@@ -66,11 +93,18 @@ void warnImpl(const char *file, int line, const char *fmt, ...)
 void informImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
+/** Developer diagnostic; dropped unless the Debug level is enabled. */
+void debugImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
 /**
  * Install a message sink for tests (captures instead of writing to
  * stderr).  Passing nullptr restores the default sink.  The sink
- * receives the already-formatted single-line message and its level.
+ * receives the already-formatted single-line message and its level;
+ * messages filtered out by the verbosity ladder never reach it.
  * Terminating levels still terminate unless test hooks are enabled.
+ * Installation and invocation are mutex-serialized, so workers may
+ * log while another thread swaps the sink.
  */
 using LogSink = void (*)(LogLevel, const std::string &);
 void setLogSink(LogSink sink);
@@ -91,6 +125,8 @@ void setLogThrowOnTerminate(bool enable);
     ::gpuscale::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define inform(...) \
     ::gpuscale::informImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define debuglog(...) \
+    ::gpuscale::debugImpl(__FILE__, __LINE__, __VA_ARGS__)
 
 /** panic() unless the condition holds. */
 #define panic_if(cond, ...)                                            \

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 #include "cache_model.hh"
 #include "dispatch.hh"
 #include "gpu_config.hh"
@@ -197,6 +198,12 @@ KernelPerf
 AnalyticModel::estimate(const KernelDesc &kernel,
                         const GpuConfig &cfg) const
 {
+    static obs::Counter &evaluations =
+        obs::Registry::instance().counter(
+            "model.analytic.estimates",
+            "analytic-model evaluations");
+    evaluations.inc();
+
     kernel.validate();
     cfg.validate();
 

@@ -12,6 +12,8 @@
 
 #include "base/logging.hh"
 #include "base/random.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "gpu/cache_model.hh"
 #include "gpu/dispatch.hh"
 #include "gpu/gpu_config.hh"
@@ -362,6 +364,13 @@ KernelPerf
 EventModel::estimateImpl(const KernelDesc &kernel, const GpuConfig &cfg,
                          stats::StatGroup *stats) const
 {
+    static obs::Counter &evaluations =
+        obs::Registry::instance().counter(
+            "model.event.estimates",
+            "event-model simulations");
+    evaluations.inc();
+    GPUSCALE_TRACE_SCOPE("event_sim/" + kernel.name);
+
     kernel.validate();
     cfg.validate();
 

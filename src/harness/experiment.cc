@@ -6,7 +6,10 @@
 #include "experiment.hh"
 
 #include <map>
+#include <thread>
 
+#include "base/logging.hh"
+#include "obs/trace.hh"
 #include "workloads/registry.hh"
 
 namespace gpuscale {
@@ -15,17 +18,42 @@ namespace harness {
 CensusResult
 runCensus(const gpu::PerfModel &model,
           std::optional<scaling::ConfigSpace> space,
-          const scaling::TaxonomyParams &params)
+          const scaling::TaxonomyParams &params,
+          obs::ProgressReporter *progress)
 {
+    GPUSCALE_TRACE_SCOPE("census");
     CensusResult census{
         space.value_or(scaling::ConfigSpace::paperGrid()), {}, {}};
 
     const auto kernels = workloads::WorkloadRegistry::instance()
                              .allKernels();
-    census.surfaces = sweepKernels(model, kernels, census.space);
-    census.classifications =
-        scaling::classifyAll(census.surfaces, params);
+    debuglog("census: %zu kernels x %zu configs with model '%s'",
+             kernels.size(), census.space.size(),
+             model.name().c_str());
+    census.surfaces =
+        sweepKernels(model, kernels, census.space, progress);
+    {
+        GPUSCALE_TRACE_SCOPE("census.classify");
+        census.classifications =
+            scaling::classifyAll(census.surfaces, params);
+    }
     return census;
+}
+
+obs::RunManifest
+censusManifest(const CensusResult &census, const gpu::PerfModel &model)
+{
+    obs::RunManifest m;
+    m.command = "census";
+    m.model = model.name();
+    m.threads = std::thread::hardware_concurrency();
+    m.num_kernels = census.surfaces.size();
+    m.num_configs = census.space.size();
+    m.num_estimates = census.surfaces.size() * census.space.size();
+    m.cu_values = census.space.cuValues();
+    m.core_clks_mhz = census.space.coreClks();
+    m.mem_clks_mhz = census.space.memClks();
+    return m;
 }
 
 std::vector<const scaling::KernelClassification *>

@@ -43,6 +43,7 @@ class NoisyModel : public gpu::PerfModel
     std::string name() const override;
 
     double sigma() const { return sigma_; }
+    uint64_t seed() const { return seed_; }
 
   private:
     const gpu::PerfModel &inner_;

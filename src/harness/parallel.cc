@@ -5,12 +5,45 @@
 
 #include "parallel.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace gpuscale {
 namespace harness {
+
+namespace {
+
+/** Cached instrument references; registry lookups happen once. */
+struct ParallelMetrics {
+    obs::Counter &invocations;
+    obs::Counter &tasks;
+    obs::Gauge &workers_gauge;
+    obs::Gauge &imbalance;
+
+    static ParallelMetrics &
+    get()
+    {
+        static ParallelMetrics m{
+            obs::Registry::instance().counter(
+                "parallel.invocations", "parallelFor calls"),
+            obs::Registry::instance().counter(
+                "parallel.tasks", "loop indices executed"),
+            obs::Registry::instance().gauge(
+                "parallel.workers", "worker threads in the last call"),
+            obs::Registry::instance().gauge(
+                "parallel.worker.imbalance",
+                "last call's max worker load over the ideal share"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 void
 parallelFor(size_t n, const std::function<void(size_t)> &fn,
@@ -19,6 +52,10 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
     if (n == 0)
         return;
 
+    ParallelMetrics &metrics = ParallelMetrics::get();
+    metrics.invocations.inc();
+    metrics.tasks.inc(n);
+
     unsigned workers = max_threads != 0
                            ? max_threads
                            : std::thread::hardware_concurrency();
@@ -26,28 +63,45 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
         workers = 1;
     workers = static_cast<unsigned>(
         std::min<size_t>(workers, n));
+    metrics.workers_gauge.set(workers);
 
     if (workers <= 1) {
+        GPUSCALE_TRACE_SCOPE("parallelFor.serial");
         for (size_t i = 0; i < n; ++i)
             fn(i);
+        metrics.imbalance.set(1.0);
         return;
     }
 
     std::atomic<size_t> next{0};
+    std::vector<uint64_t> per_worker_tasks(workers, 0);
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
-        threads.emplace_back([&]() {
+        threads.emplace_back([&, w]() {
+            GPUSCALE_TRACE_SCOPE("parallelFor.worker");
+            uint64_t done = 0;
             while (true) {
                 const size_t i = next.fetch_add(1);
                 if (i >= n)
-                    return;
+                    break;
                 fn(i);
+                ++done;
             }
+            per_worker_tasks[w] = done;
         });
     }
     for (auto &t : threads)
         t.join();
+
+    // Imbalance: busiest worker's task count over the ideal n/workers
+    // share.  1.0 is perfect; the dynamic next-index queue keeps this
+    // near 1 unless per-task cost varies wildly.
+    const uint64_t busiest = *std::max_element(per_worker_tasks.begin(),
+                                               per_worker_tasks.end());
+    const double ideal =
+        static_cast<double>(n) / static_cast<double>(workers);
+    metrics.imbalance.set(static_cast<double>(busiest) / ideal);
 }
 
 } // namespace harness

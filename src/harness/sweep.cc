@@ -5,28 +5,84 @@
 
 #include "sweep.hh"
 
+#include <chrono>
+
 #include "base/logging.hh"
 #include "gpu/kernel_desc.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 #include "parallel.hh"
 
 namespace gpuscale {
 namespace harness {
 
+namespace {
+
+/** Cached instrument references for the estimate hot loop. */
+struct SweepMetrics {
+    obs::Counter &estimates;
+    obs::Counter &kernels;
+    obs::Histogram &latency;
+
+    static SweepMetrics &
+    get()
+    {
+        static SweepMetrics m{
+            obs::Registry::instance().counter(
+                "sweep.estimates.count",
+                "model estimates issued by the sweep harness"),
+            obs::Registry::instance().counter(
+                "sweep.kernels.count", "kernels swept"),
+            obs::Registry::instance().histogram(
+                "sweep.estimate.latency",
+                "seconds per model estimate"),
+        };
+        return m;
+    }
+};
+
+/**
+ * Sweep one kernel over the whole grid, timing every estimate into
+ * the latency histogram, under one trace span named after the kernel.
+ */
+std::vector<double>
+sweepOne(const gpu::PerfModel &model, const gpu::KernelDesc &kernel,
+         const scaling::ConfigSpace &space)
+{
+    SweepMetrics &metrics = SweepMetrics::get();
+    GPUSCALE_TRACE_SCOPE("sweep/" + kernel.name);
+    metrics.kernels.inc();
+
+    std::vector<double> runtimes(space.size());
+    for (size_t i = 0; i < space.size(); ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        runtimes[i] = model.estimate(kernel, space.at(i)).time_s;
+        const auto t1 = std::chrono::steady_clock::now();
+        metrics.latency.record(
+            std::chrono::duration<double>(t1 - t0).count());
+    }
+    metrics.estimates.inc(space.size());
+    debuglog("swept %s: %zu configs", kernel.name.c_str(),
+             space.size());
+    return runtimes;
+}
+
+} // namespace
+
 scaling::ScalingSurface
 sweepKernel(const gpu::PerfModel &model, const gpu::KernelDesc &kernel,
             const scaling::ConfigSpace &space)
 {
-    std::vector<double> runtimes(space.size());
-    for (size_t i = 0; i < space.size(); ++i)
-        runtimes[i] = model.estimate(kernel, space.at(i)).time_s;
     return scaling::ScalingSurface(kernel.name, space,
-                                   std::move(runtimes));
+                                   sweepOne(model, kernel, space));
 }
 
 std::vector<scaling::ScalingSurface>
 sweepKernels(const gpu::PerfModel &model,
              const std::vector<const gpu::KernelDesc *> &kernels,
-             const scaling::ConfigSpace &space)
+             const scaling::ConfigSpace &space,
+             obs::ProgressReporter *progress)
 {
     for (const auto *kernel : kernels)
         panic_if(kernel == nullptr, "sweepKernels: null kernel");
@@ -34,10 +90,9 @@ sweepKernels(const gpu::PerfModel &model,
     // Build surfaces into pre-sized slots so workers never contend.
     std::vector<std::vector<double>> runtimes(kernels.size());
     parallelFor(kernels.size(), [&](size_t k) {
-        std::vector<double> rts(space.size());
-        for (size_t i = 0; i < space.size(); ++i)
-            rts[i] = model.estimate(*kernels[k], space.at(i)).time_s;
-        runtimes[k] = std::move(rts);
+        runtimes[k] = sweepOne(model, *kernels[k], space);
+        if (progress != nullptr)
+            progress->tick();
     });
 
     std::vector<scaling::ScalingSurface> surfaces;

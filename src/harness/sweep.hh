@@ -17,6 +17,9 @@
 #include "scaling/surface.hh"
 
 namespace gpuscale {
+namespace obs {
+class ProgressReporter;
+} // namespace obs
 namespace harness {
 
 /**
@@ -32,12 +35,17 @@ scaling::ScalingSurface sweepKernel(const gpu::PerfModel &model,
  * Measure a batch of kernels; kernels are distributed across worker
  * threads (each (kernel, config) estimate is independent).
  *
+ * Each swept kernel records a "sweep/<name>" trace span and feeds the
+ * sweep.estimate.latency histogram (see docs/observability.md).
+ *
  * @param kernels non-owning kernel pointers; all non-null.
+ * @param progress optional reporter ticked once per finished kernel.
  */
 std::vector<scaling::ScalingSurface> sweepKernels(
     const gpu::PerfModel &model,
     const std::vector<const gpu::KernelDesc *> &kernels,
-    const scaling::ConfigSpace &space);
+    const scaling::ConfigSpace &space,
+    obs::ProgressReporter *progress = nullptr);
 
 } // namespace harness
 } // namespace gpuscale

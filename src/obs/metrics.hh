@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Process-wide run-telemetry metrics registry.
+ *
+ * Distinct from base/stats (per-simulation, gem5-style, single-
+ * threaded): obs metrics instrument the *toolkit itself* — how many
+ * model estimates a sweep issued, how long each took, how balanced
+ * the parallelFor workers were — and are safe to update from many
+ * threads at once.
+ *
+ * Three instrument kinds:
+ *  - Counter:   monotonically increasing uint64 (relaxed atomic).
+ *  - Gauge:     last-written double (atomic store).
+ *  - Histogram: log-scale latency histogram with lock-free bucket
+ *               updates and percentile extraction.
+ *
+ * Instruments are owned by the Registry singleton and live for the
+ * process; references returned by counter()/gauge()/histogram() are
+ * stable, so hot paths cache them in function-local statics and pay
+ * no lookup per event.  Snapshots render to JSON (for --metrics
+ * files and run manifests) or to a base/table TextTable (for
+ * human-readable bench output).
+ */
+
+#ifndef GPUSCALE_OBS_METRICS_HH
+#define GPUSCALE_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "base/table.hh"
+
+namespace gpuscale {
+namespace obs {
+
+class JsonWriter;
+
+/** Monotonic event counter; inc() is wait-free. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-value instrument (levels, ratios); set() is wait-free. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Atomic accumulate (CAS loop); for sums built across threads. */
+    void add(double delta);
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Log-scale histogram for latency-like values.
+ *
+ * Covers [1 ns, 1000 s) with kBucketsPerDecade buckets per factor of
+ * ten plus underflow/overflow bins; record() is two relaxed atomic
+ * RMWs plus CAS loops for min/max, so concurrent recording never
+ * blocks.  Percentiles are reconstructed from bucket boundaries
+ * (geometric midpoint), i.e. accurate to about half a bucket width
+ * (~15% with 8 buckets/decade) — ample for telemetry.
+ */
+class Histogram
+{
+  public:
+    static constexpr double kLo = 1e-9;
+    static constexpr double kHi = 1e3;
+    static constexpr size_t kDecades = 12;
+    static constexpr size_t kBucketsPerDecade = 8;
+    /** Scale buckets plus underflow (front) and overflow (back). */
+    static constexpr size_t kNumBuckets =
+        kDecades * kBucketsPerDecade + 2;
+
+    Histogram();
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one sample (thread-safe, non-blocking). */
+    void record(double v);
+
+    uint64_t count() const;
+    double sum() const;
+    double mean() const;
+    double minSample() const;
+    double maxSample() const;
+
+    /**
+     * Value at the given percentile (p in [0, 100]), reconstructed
+     * from the bucket a snapshot of the counts lands in; 0 when
+     * empty.
+     */
+    double percentile(double p) const;
+
+    void reset();
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static size_t bucketIndex(double v);
+
+  private:
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};
+    std::atomic<double> max_{0.0};
+};
+
+/**
+ * The process-wide instrument registry.
+ *
+ * Lookup/creation takes a mutex; the returned reference is stable for
+ * the life of the process.  The description passed at first
+ * registration wins.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+    Gauge &gauge(const std::string &name, const std::string &desc = "");
+    Histogram &histogram(const std::string &name,
+                         const std::string &desc = "");
+
+    bool empty() const;
+
+    /**
+     * Write the current values as a JSON object value:
+     * {"counters": {...}, "gauges": {...}, "histograms": {name:
+     * {count,mean,min,max,p50,p90,p99}}}.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** writeJson() into a standalone document string. */
+    std::string snapshotJson() const;
+
+    /** Human-readable snapshot via base/table. */
+    TextTable snapshotTable() const;
+
+    /** Zero every instrument (tests); registrations persist. */
+    void resetAll();
+
+  private:
+    Registry() = default;
+
+    template <typename T>
+    struct Entry {
+        std::string desc;
+        std::unique_ptr<T> instrument;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry<Counter>> counters_;
+    std::map<std::string, Entry<Gauge>> gauges_;
+    std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+} // namespace obs
+} // namespace gpuscale
+
+#endif // GPUSCALE_OBS_METRICS_HH

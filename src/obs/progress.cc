@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Progress reporter implementation.
+ */
+
+#include "progress.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace obs {
+
+ProgressReporter::ProgressReporter(std::string label, uint64_t total,
+                                   bool enabled, unsigned interval_ms)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      interval_ms_(static_cast<int64_t>(interval_ms)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+ProgressReporter::~ProgressReporter()
+{
+    finish();
+}
+
+double
+ProgressReporter::elapsedSec() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+uint64_t
+ProgressReporter::done() const
+{
+    return done_.load(std::memory_order_relaxed);
+}
+
+double
+ProgressReporter::ratePerSec() const
+{
+    const double elapsed = elapsedSec();
+    if (elapsed <= 0.0)
+        return 0.0;
+    return static_cast<double>(done()) / elapsed;
+}
+
+std::string
+ProgressReporter::renderLine() const
+{
+    const uint64_t n = done();
+    const double pct =
+        total_ > 0
+            ? 100.0 * static_cast<double>(n) / static_cast<double>(total_)
+            : 0.0;
+    const double rate = ratePerSec();
+    std::string line = strprintf(
+        "%s: %llu/%llu (%.1f%%) %.1f/s", label_.c_str(),
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(total_), pct, rate);
+    if (rate > 0.0 && n < total_) {
+        const double eta =
+            static_cast<double>(total_ - n) / rate;
+        line += strprintf(" eta %.0fs", eta);
+    }
+    return line;
+}
+
+void
+ProgressReporter::paint(bool final_line)
+{
+    std::lock_guard<std::mutex> lock(paint_mu_);
+    // Trailing spaces clear leftovers from a longer previous line.
+    std::fprintf(stderr, "\r%-70s%s", renderLine().c_str(),
+                 final_line ? "\n" : "");
+    std::fflush(stderr);
+}
+
+void
+ProgressReporter::tick(uint64_t n)
+{
+    const uint64_t now_done =
+        done_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (!enabled_ || finished_.load(std::memory_order_relaxed))
+        return;
+
+    const auto now_ms = static_cast<int64_t>(elapsedSec() * 1000.0);
+    int64_t last = last_paint_ms_.load(std::memory_order_relaxed);
+    const bool due =
+        now_ms - last >= interval_ms_ || now_done >= total_;
+    if (!due)
+        return;
+    // One thread wins the repaint; losers skip rather than queue.
+    if (!last_paint_ms_.compare_exchange_strong(
+            last, now_ms, std::memory_order_relaxed)) {
+        return;
+    }
+    paint(false);
+}
+
+void
+ProgressReporter::finish()
+{
+    if (finished_.exchange(true, std::memory_order_relaxed))
+        return;
+    if (enabled_)
+        paint(true);
+}
+
+} // namespace obs
+} // namespace gpuscale

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Throttled progress reporting for long sweeps.
+ *
+ * A census walks 267 kernels x 891 configurations; ProgressReporter
+ * gives the operator a stderr line with completion, rate, and ETA
+ * without measurably slowing the workers: tick() is an atomic
+ * increment plus a time check, and the line is repainted at most once
+ * per interval (carriage-return overwrite, no scrollback spam).
+ */
+
+#ifndef GPUSCALE_OBS_PROGRESS_HH
+#define GPUSCALE_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace gpuscale {
+namespace obs {
+
+/** Thread-safe, throttled stderr progress line. */
+class ProgressReporter
+{
+  public:
+    /**
+     * @param label short name printed before the counts ("census").
+     * @param total number of work items expected.
+     * @param enabled when false, tick() only counts (no output) —
+     *        callers thread one reporter through unconditionally and
+     *        let the flag decide.
+     * @param interval_ms minimum milliseconds between repaints.
+     */
+    ProgressReporter(std::string label, uint64_t total,
+                     bool enabled = true, unsigned interval_ms = 200);
+
+    ProgressReporter(const ProgressReporter &) = delete;
+    ProgressReporter &operator=(const ProgressReporter &) = delete;
+
+    /** finish()es if the caller has not. */
+    ~ProgressReporter();
+
+    /** Mark n items complete; repaints when the throttle allows. */
+    void tick(uint64_t n = 1);
+
+    /** Paint the final line and a newline; idempotent. */
+    void finish();
+
+    uint64_t done() const;
+    uint64_t total() const { return total_; }
+
+    /** Items per second since construction. */
+    double ratePerSec() const;
+
+    /** The current progress line (exposed for tests). */
+    std::string renderLine() const;
+
+  private:
+    double elapsedSec() const;
+    void paint(bool final_line);
+
+    const std::string label_;
+    const uint64_t total_;
+    const bool enabled_;
+    const int64_t interval_ms_;
+    const std::chrono::steady_clock::time_point start_;
+    std::atomic<uint64_t> done_{0};
+    std::atomic<int64_t> last_paint_ms_{-1};
+    std::atomic<bool> finished_{false};
+    std::mutex paint_mu_;
+};
+
+} // namespace obs
+} // namespace gpuscale
+
+#endif // GPUSCALE_OBS_PROGRESS_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Run-manifest writer implementation.
+ */
+
+#include "run_manifest.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "json.hh"
+#include "metrics.hh"
+
+namespace gpuscale {
+namespace obs {
+
+ManifestTimer::ManifestTimer()
+    : wall_start_(std::chrono::steady_clock::now()),
+      cpu_start_(std::clock()),
+      started_at_(std::time(nullptr))
+{
+}
+
+void
+ManifestTimer::finalize(RunManifest &m) const
+{
+    m.wall_time_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start_)
+                        .count();
+    m.cpu_time_s = static_cast<double>(std::clock() - cpu_start_) /
+                   CLOCKS_PER_SEC;
+
+    std::tm tm_utc{};
+    gmtime_r(&started_at_, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    m.started_at = buf;
+}
+
+std::string
+renderManifestJson(const RunManifest &m, bool include_metrics)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema_version").value(1);
+    w.key("tool").value(m.tool);
+    w.key("command").value(m.command);
+    w.key("argv").beginArray();
+    for (const auto &a : m.argv)
+        w.value(a);
+    w.endArray();
+    w.key("model").value(m.model);
+    w.key("seed").value(m.seed);
+    w.key("threads").value(static_cast<uint64_t>(m.threads));
+    w.key("started_at").value(m.started_at);
+    w.key("wall_time_s").value(m.wall_time_s);
+    w.key("cpu_time_s").value(m.cpu_time_s);
+
+    w.key("config_space").beginObject();
+    w.key("cu_values").beginArray();
+    for (const int v : m.cu_values)
+        w.value(v);
+    w.endArray();
+    w.key("core_clks_mhz").beginArray();
+    for (const double v : m.core_clks_mhz)
+        w.value(v);
+    w.endArray();
+    w.key("mem_clks_mhz").beginArray();
+    for (const double v : m.mem_clks_mhz)
+        w.value(v);
+    w.endArray();
+    w.key("num_configs").value(static_cast<uint64_t>(m.num_configs));
+    w.endObject();
+
+    w.key("workload").beginObject();
+    w.key("num_kernels").value(static_cast<uint64_t>(m.num_kernels));
+    w.key("num_estimates")
+        .value(static_cast<uint64_t>(m.num_estimates));
+    w.endObject();
+
+    w.key("extra").beginObject();
+    for (const auto &[k, v] : m.extra)
+        w.key(k).value(v);
+    w.endObject();
+
+    if (include_metrics) {
+        w.key("metrics");
+        Registry::instance().writeJson(w);
+    }
+
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+void
+writeManifest(const RunManifest &m, const std::string &path,
+              bool include_metrics)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot write run manifest %s", path.c_str());
+    os << renderManifestJson(m, include_metrics);
+}
+
+std::string
+manifestPathFor(const std::string &output_path)
+{
+    const size_t slash = output_path.find_last_of('/');
+    const size_t dot = output_path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return output_path + ".manifest.json";
+    }
+    return output_path.substr(0, dot) + ".manifest.json";
+}
+
+} // namespace obs
+} // namespace gpuscale

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Run manifests: a JSON record of what a run actually did.
+ *
+ * Every report a sweep produces (classifications.csv, a bench table)
+ * is only reproducible if the conditions that produced it are written
+ * down; the manifest captures the command, the configuration space,
+ * the RNG seed, the thread count, wall/CPU time, and a final metrics
+ * snapshot, and is written next to the report output
+ * (report.csv -> report.manifest.json).
+ *
+ * Schema (docs/observability.md documents it in full):
+ * {
+ *   "schema_version": 1,
+ *   "tool": "gpuscale", "command": "census", "argv": [...],
+ *   "model": "analytic", "seed": 0, "threads": 16,
+ *   "started_at": "2015-10-04T12:00:00Z",
+ *   "wall_time_s": 1.9, "cpu_time_s": 28.1,
+ *   "config_space": {"cu_values": [...], "core_clks_mhz": [...],
+ *                    "mem_clks_mhz": [...], "num_configs": 891},
+ *   "workload": {"num_kernels": 267, "num_estimates": 237897},
+ *   "extra": {...},
+ *   "metrics": { ...Registry snapshot... }
+ * }
+ */
+
+#ifndef GPUSCALE_OBS_RUN_MANIFEST_HH
+#define GPUSCALE_OBS_RUN_MANIFEST_HH
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpuscale {
+namespace obs {
+
+/** Everything a run needs to write down to be reproducible. */
+struct RunManifest {
+    std::string tool = "gpuscale";
+    std::string command;
+    std::vector<std::string> argv;
+    std::string model;       ///< perf-model name ("analytic", ...)
+    uint64_t seed = 0;       ///< RNG seed (0 = deterministic/no noise)
+    unsigned threads = 0;    ///< worker threads (0 = hw concurrency)
+    std::string started_at;  ///< ISO-8601 UTC wall-clock start
+    double wall_time_s = 0.0;
+    double cpu_time_s = 0.0;
+    size_t num_kernels = 0;
+    size_t num_configs = 0;
+    size_t num_estimates = 0;
+    std::vector<int> cu_values;
+    std::vector<double> core_clks_mhz;
+    std::vector<double> mem_clks_mhz;
+    /** Free-form additions (output files, sigma, ...). */
+    std::map<std::string, std::string> extra;
+};
+
+/**
+ * Captures start times at construction; finalize() stamps started_at
+ * and the wall/CPU durations into a manifest.
+ */
+class ManifestTimer
+{
+  public:
+    ManifestTimer();
+
+    void finalize(RunManifest &m) const;
+
+  private:
+    std::chrono::steady_clock::time_point wall_start_;
+    std::clock_t cpu_start_;
+    std::time_t started_at_;
+};
+
+/**
+ * Render the manifest as a JSON document.
+ *
+ * @param include_metrics embed the current Registry snapshot.
+ */
+std::string renderManifestJson(const RunManifest &m,
+                               bool include_metrics = true);
+
+/** Write the manifest to a file; fatal on I/O failure. */
+void writeManifest(const RunManifest &m, const std::string &path,
+                   bool include_metrics = true);
+
+/**
+ * Conventional manifest path for a report file:
+ * "report.csv" -> "report.manifest.json"; a path without an extension
+ * gets ".manifest.json" appended.
+ */
+std::string manifestPathFor(const std::string &output_path);
+
+} // namespace obs
+} // namespace gpuscale
+
+#endif // GPUSCALE_OBS_RUN_MANIFEST_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Trace emitter implementation.
+ */
+
+#include "trace.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/logging.hh"
+#include "json.hh"
+
+namespace gpuscale {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_active{false};
+
+namespace {
+
+struct TraceEvent {
+    std::string name;
+    double ts_us;
+    double dur_us;
+};
+
+/**
+ * One buffer per thread that ever recorded a span.  The owning thread
+ * appends under the buffer mutex, which is uncontended except while
+ * stop() drains; shared_ptr ownership keeps buffers of exited threads
+ * alive in the global list until they are drained.
+ */
+struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint32_t tid;
+};
+
+struct TraceState {
+    std::mutex mu; ///< guards path, buffer list, and tid allocation
+    std::string path;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    uint32_t next_tid = 1;
+    bool atexit_registered = false;
+};
+
+TraceState &
+state()
+{
+    static TraceState *s = new TraceState; // leaked: usable at exit
+    return *s;
+}
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> tl_buffer;
+    if (!tl_buffer) {
+        tl_buffer = std::make_shared<ThreadBuffer>();
+        TraceState &s = state();
+        std::lock_guard<std::mutex> lock(s.mu);
+        tl_buffer->tid = s.next_tid++;
+        s.buffers.push_back(tl_buffer);
+    }
+    return *tl_buffer;
+}
+
+std::chrono::steady_clock::time_point
+processEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+void
+atexitFlush()
+{
+    TraceSession::stop();
+}
+
+} // namespace
+
+double
+traceNowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - processEpoch())
+        .count();
+}
+
+void
+traceRecordComplete(std::string name, double ts_us, double dur_us)
+{
+    if (!g_trace_active.load(std::memory_order_relaxed))
+        return; // session stopped while the span was open
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.push_back(TraceEvent{std::move(name), ts_us, dur_us});
+}
+
+} // namespace detail
+
+void
+TraceSession::start(const std::string &path)
+{
+    using detail::state;
+    detail::TraceState &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (detail::g_trace_active.load(std::memory_order_relaxed)) {
+            warn("trace session already active; ignoring start(%s)",
+                 path.c_str());
+            return;
+        }
+        s.path = path;
+        if (!s.atexit_registered) {
+            std::atexit(detail::atexitFlush);
+            s.atexit_registered = true;
+        }
+    }
+    detail::g_trace_active.store(true, std::memory_order_release);
+}
+
+size_t
+TraceSession::stop()
+{
+    using detail::state;
+    if (!detail::g_trace_active.exchange(false,
+                                         std::memory_order_acq_rel)) {
+        return 0;
+    }
+
+    detail::TraceState &s = state();
+    std::string path;
+    std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        path = s.path;
+        buffers = s.buffers; // keep registrations for a later session
+    }
+
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write trace file %s", path.c_str());
+        return 0;
+    }
+
+    size_t written = 0;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+    for (const auto &buf : buffers) {
+        std::vector<detail::TraceEvent> events;
+        {
+            std::lock_guard<std::mutex> lock(buf->mu);
+            events.swap(buf->events);
+        }
+        if (events.empty())
+            continue;
+        // Thread-name metadata row so viewers label the track.
+        w.beginObject();
+        w.key("name").value("thread_name");
+        w.key("ph").value("M");
+        w.key("pid").value(1);
+        w.key("tid").value(static_cast<uint64_t>(buf->tid));
+        w.key("args").beginObject();
+        w.key("name").value(strprintf("gpuscale-thread-%u", buf->tid));
+        w.endObject();
+        w.endObject();
+        for (const auto &ev : events) {
+            w.beginObject();
+            w.key("name").value(ev.name);
+            w.key("cat").value("gpuscale");
+            w.key("ph").value("X");
+            w.key("ts").value(ev.ts_us);
+            w.key("dur").value(ev.dur_us);
+            w.key("pid").value(1);
+            w.key("tid").value(static_cast<uint64_t>(buf->tid));
+            w.endObject();
+            ++written;
+        }
+    }
+    w.endArray();
+    w.endObject();
+    return written;
+}
+
+} // namespace obs
+} // namespace gpuscale

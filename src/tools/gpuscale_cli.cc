@@ -6,20 +6,36 @@
  *   census [sigma]        run the full 267x891 census (optionally
  *                         with measurement noise) and print the
  *                         taxonomy tables; writes
- *                         classifications.csv to the working dir.
+ *                         classifications.csv and a run manifest
+ *                         (classifications.manifest.json) to the
+ *                         working dir.
  *   classify <file.csv>   classify externally measured surfaces
  *                         (writeSurfaceCsv format — bring your own
  *                         hardware data).
  *   kernel <name>         show one zoo kernel's scaling curves and
  *                         classification.
  *   suites                print the workload inventory.
+ *
+ * Telemetry options (any subcommand):
+ *   --trace=FILE          write a Chrome trace-event / Perfetto JSON
+ *                         span trace (chrome://tracing,
+ *                         ui.perfetto.dev).
+ *   --metrics=FILE        write a metrics-registry JSON snapshot and
+ *                         print the metrics table.
+ *   --progress            live progress line on stderr during sweeps.
+ *
+ * Exit codes: 0 success, 1 runtime failure, 2 unknown command,
+ * 3 bad arguments — scripted drivers can tell a typo'd subcommand
+ * from a malformed invocation.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "base/math_util.hh"
@@ -27,6 +43,10 @@
 #include "gpu/analytic_model.hh"
 #include "harness/experiment.hh"
 #include "harness/noise.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/run_manifest.hh"
+#include "obs/trace.hh"
 #include "scaling/report.hh"
 #include "scaling/suite_analysis.hh"
 #include "workloads/registry.hh"
@@ -35,9 +55,24 @@ namespace {
 
 using namespace gpuscale;
 
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;
+constexpr int kExitUnknownCommand = 2;
+constexpr int kExitBadArguments = 3;
+
+/** Telemetry switches shared by every subcommand. */
+struct CliOptions {
+    std::string trace_file;
+    std::string metrics_file;
+    bool progress = false;
+};
+
 int
-runCensusCmd(double sigma)
+runCensusCmd(double sigma, const CliOptions &opts,
+             const std::vector<std::string> &argv_record)
 {
+    const obs::ManifestTimer timer;
+
     const gpu::AnalyticModel inner;
     const harness::NoisyModel noisy(inner, sigma);
     const gpu::PerfModel &model =
@@ -45,7 +80,14 @@ runCensusCmd(double sigma)
                   : static_cast<const gpu::PerfModel &>(inner);
 
     inform("running census with model '%s'", model.name().c_str());
-    const auto census = harness::runCensus(model);
+    const size_t num_kernels = workloads::WorkloadRegistry::instance()
+                                   .allKernels().size();
+    obs::ProgressReporter progress("census", num_kernels,
+                                   opts.progress);
+    const auto census =
+        harness::runCensus(model, std::nullopt,
+                           scaling::TaxonomyParams{}, &progress);
+    progress.finish();
 
     std::fputs(scaling::classHistogramTable(census.classifications)
                    .render().c_str(),
@@ -57,12 +99,25 @@ runCensusCmd(double sigma)
             .render().c_str(),
         stdout);
 
-    std::ofstream os("classifications.csv");
-    fatal_if(!os, "cannot write classifications.csv");
+    const std::string report_path = "classifications.csv";
+    std::ofstream os(report_path);
+    fatal_if(!os, "cannot write %s", report_path.c_str());
     scaling::writeClassificationsCsv(os, census.classifications);
-    inform("wrote classifications.csv (%zu rows)",
+    inform("wrote %s (%zu rows)", report_path.c_str(),
            census.classifications.size());
-    return 0;
+
+    obs::RunManifest manifest = harness::censusManifest(census, model);
+    manifest.argv = argv_record;
+    if (sigma > 0) {
+        manifest.seed = noisy.seed();
+        manifest.extra["noise_sigma"] = strprintf("%g", sigma);
+    }
+    manifest.extra["report"] = report_path;
+    timer.finalize(manifest);
+    const std::string manifest_path = obs::manifestPathFor(report_path);
+    obs::writeManifest(manifest, manifest_path);
+    inform("wrote %s", manifest_path.c_str());
+    return kExitOk;
 }
 
 int
@@ -86,7 +141,7 @@ classifyCmd(const std::string &path)
         std::printf("  %-50s %s\n", c.kernel.c_str(),
                     scaling::taxonomyClassName(c.cls).c_str());
     }
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -99,7 +154,7 @@ kernelCmd(const std::string &name)
                      "unknown kernel '%s' (names look like "
                      "rodinia/hotspot/calculate_temp)\n",
                      name.c_str());
-        return 1;
+        return kExitFailure;
     }
     std::printf("%s\n\n", kernel->describe().c_str());
 
@@ -122,7 +177,7 @@ kernelCmd(const std::string &name)
     chart.addSeries({"mem", idx9,
                      normalizeToFirst(surface.memCurveAtMax())});
     std::printf("%s\n", chart.render().c_str());
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -133,7 +188,7 @@ suitesCmd()
         std::printf("%-12s %3zu programs %4zu kernels\n",
                     row.suite.c_str(), row.programs, row.kernels);
     }
-    return 0;
+    return kExitOk;
 }
 
 void
@@ -141,11 +196,31 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: gpuscale <command>\n"
-        "  census [sigma]       full taxonomy census (+noise)\n"
+        "usage: gpuscale [options] <command>\n"
+        "  census [sigma]       full taxonomy census (+noise);\n"
+        "                       writes classifications.csv + manifest\n"
         "  classify <file.csv>  classify measured surfaces\n"
         "  kernel <name>        inspect one zoo kernel\n"
-        "  suites               workload inventory\n");
+        "  suites               workload inventory\n"
+        "options:\n"
+        "  --trace=FILE         Chrome/Perfetto trace-event JSON\n"
+        "  --metrics=FILE       metrics-registry JSON snapshot\n"
+        "  --progress           live sweep progress on stderr\n"
+        "exit codes: 0 ok, 1 failure, 2 unknown command, "
+        "3 bad arguments\n");
+}
+
+/** Write the metrics snapshot and print the table (--metrics). */
+void
+emitMetrics(const std::string &path)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot write metrics file %s", path.c_str());
+    os << obs::Registry::instance().snapshotJson() << '\n';
+    std::printf("\n%s",
+                obs::Registry::instance().snapshotTable()
+                    .render().c_str());
+    inform("wrote %s", path.c_str());
 }
 
 } // namespace
@@ -153,19 +228,68 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        usage();
-        return 1;
+    CliOptions opts;
+    std::vector<std::string> args;
+    std::vector<std::string> argv_record;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        argv_record.push_back(arg);
+        if (arg.rfind("--trace=", 0) == 0) {
+            opts.trace_file = arg.substr(8);
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            opts.metrics_file = arg.substr(10);
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return kExitBadArguments;
+        } else {
+            args.push_back(arg);
+        }
     }
-    const std::string cmd = argv[1];
-    if (cmd == "census")
-        return runCensusCmd(argc > 2 ? std::atof(argv[2]) : 0.0);
-    if (cmd == "classify" && argc > 2)
-        return classifyCmd(argv[2]);
-    if (cmd == "kernel" && argc > 2)
-        return kernelCmd(argv[2]);
-    if (cmd == "suites")
-        return suitesCmd();
-    usage();
-    return 1;
+
+    if (args.empty()) {
+        usage();
+        return kExitBadArguments;
+    }
+
+    if (!opts.trace_file.empty())
+        obs::TraceSession::start(opts.trace_file);
+
+    const std::string cmd = args[0];
+    int rc;
+    if (cmd == "census") {
+        rc = runCensusCmd(args.size() > 1 ? std::atof(args[1].c_str())
+                                          : 0.0,
+                          opts, argv_record);
+    } else if (cmd == "classify") {
+        if (args.size() < 2) {
+            std::fprintf(stderr, "classify needs a CSV path\n");
+            usage();
+            return kExitBadArguments;
+        }
+        rc = classifyCmd(args[1]);
+    } else if (cmd == "kernel") {
+        if (args.size() < 2) {
+            std::fprintf(stderr, "kernel needs a kernel name\n");
+            usage();
+            return kExitBadArguments;
+        }
+        rc = kernelCmd(args[1]);
+    } else if (cmd == "suites") {
+        rc = suitesCmd();
+    } else {
+        std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+        usage();
+        return kExitUnknownCommand;
+    }
+
+    if (!opts.metrics_file.empty())
+        emitMetrics(opts.metrics_file);
+    if (!opts.trace_file.empty()) {
+        const size_t spans = obs::TraceSession::stop();
+        inform("wrote %s (%zu spans)", opts.trace_file.c_str(), spans);
+    }
+    return rc;
 }

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace gpuscale {
@@ -38,6 +40,7 @@ class LoggingTest : public ::testing::Test
     {
         setLogSink(nullptr);
         setLogThrowOnTerminate(false);
+        setLogLevel(LogLevel::Inform);
     }
 };
 
@@ -101,6 +104,91 @@ TEST_F(LoggingTest, MessagesCarryFormattedArguments)
     EXPECT_THROW(fatal("a=%d b=%s c=%.1f", 1, "two", 3.0),
                  std::runtime_error);
     EXPECT_EQ(g_captured[0].second, "a=1 b=two c=3.0");
+}
+
+TEST_F(LoggingTest, DebugIsDroppedAtDefaultLevel)
+{
+    ASSERT_EQ(logLevel(), LogLevel::Inform);
+    EXPECT_FALSE(logLevelEnabled(LogLevel::Debug));
+    debuglog("invisible %d", 1);
+    EXPECT_TRUE(g_captured.empty());
+}
+
+TEST_F(LoggingTest, DebugEmitsWhenLevelLowered)
+{
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Debug));
+    debuglog("visible %d", 2);
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Debug);
+    EXPECT_EQ(g_captured[0].second, "visible 2");
+}
+
+TEST_F(LoggingTest, WarnLevelSuppressesInformButNotWarn)
+{
+    setLogLevel(LogLevel::Warn);
+    inform("dropped");
+    EXPECT_TRUE(g_captured.empty());
+    warn("kept");
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, FatalAlwaysEmitsEvenWhenQuiet)
+{
+    // "quiet" maps to a floor above Warn; Fatal/Panic still emit.
+    setLogLevel(LogLevel::Fatal);
+    warn("dropped");
+    EXPECT_TRUE(g_captured.empty());
+    EXPECT_THROW(fatal("still heard"), std::runtime_error);
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Fatal);
+}
+
+TEST_F(LoggingTest, ElapsedClockIsMonotonic)
+{
+    const double a = logElapsedSeconds();
+    const double b = logElapsedSeconds();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+}
+
+// The concurrent test uses its own atomic-counting sink: the capture
+// vector above is fine under the serialized sink, but counting keeps
+// the assertion independent of container internals.
+std::atomic<uint64_t> g_concurrent_count{0};
+
+void
+countingSink(LogLevel, const std::string &)
+{
+    g_concurrent_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingIsSerialized)
+{
+    g_concurrent_count.store(0);
+    setLogSink(countingSink);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t]() {
+            for (int i = 0; i < kPerThread; ++i) {
+                if (i % 2 == 0)
+                    warn("thread %d message %d", t, i);
+                else
+                    inform("thread %d message %d", t, i);
+            }
+            // Swapping the sink mid-flight must also be safe; this
+            // reinstalls the same one.
+            setLogSink(countingSink);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(g_concurrent_count.load(), kThreads * kPerThread);
 }
 
 } // namespace

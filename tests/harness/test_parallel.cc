@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for parallelFor and its telemetry.  The multi-worker
+ * cases pass an explicit max_threads so they exercise real thread
+ * contention even on single-core hosts (and under TSan).
+ */
+
+#include "harness/parallel.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace gpuscale {
+namespace harness {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce)
+{
+    constexpr size_t kN = 10000;
+    std::vector<std::atomic<int>> visits(kN);
+    parallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); },
+                /*max_threads=*/4);
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, SerialPathVisitsEveryIndex)
+{
+    constexpr size_t kN = 100;
+    std::vector<int> visits(kN, 0);
+    parallelFor(kN, [&](size_t i) { ++visits[i]; },
+                /*max_threads=*/1);
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0),
+              static_cast<int>(kN));
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoOp)
+{
+    bool called = false;
+    parallelFor(0, [&](size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, RecordsTelemetry)
+{
+    auto &reg = obs::Registry::instance();
+    obs::Counter &tasks = reg.counter("parallel.tasks");
+    const uint64_t tasks_before = tasks.value();
+
+    parallelFor(500, [](size_t) {}, /*max_threads=*/4);
+
+    EXPECT_EQ(tasks.value(), tasks_before + 500);
+    EXPECT_DOUBLE_EQ(reg.gauge("parallel.workers").value(), 4.0);
+    // Imbalance is bounded by [1, workers]; on a single-core host one
+    // worker may drain the whole queue before the rest are scheduled,
+    // so the upper bound is inclusive.
+    const double imbalance =
+        reg.gauge("parallel.worker.imbalance").value();
+    EXPECT_GE(imbalance, 1.0);
+    EXPECT_LE(imbalance, 4.0);
+}
+
+TEST(ParallelForTest, EachWorkerEmitsASpan)
+{
+    const std::string path =
+        ::testing::TempDir() + "/parallel_workers.trace.json";
+    obs::TraceSession::start(path);
+    parallelFor(64, [](size_t) {}, /*max_threads=*/3);
+    ASSERT_GT(obs::TraceSession::stop(), 0u);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const obs::JsonValue doc = obs::parseJson(buffer.str());
+
+    size_t worker_spans = 0;
+    std::set<double> tids;
+    for (const auto &ev : doc.at("traceEvents").array) {
+        if (ev.at("ph").str == "X" &&
+            ev.at("name").str == "parallelFor.worker") {
+            ++worker_spans;
+            tids.insert(ev.at("tid").number);
+        }
+    }
+    EXPECT_EQ(worker_spans, 3u);
+    EXPECT_EQ(tids.size(), 3u);
+}
+
+} // namespace
+} // namespace harness
+} // namespace gpuscale

@@ -8,12 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
 #include <sstream>
 
 #include "gpu/analytic_model.hh"
 #include "gpu/timing/event_sim.hh"
 #include "harness/experiment.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/run_manifest.hh"
+#include "obs/trace.hh"
 #include "scaling/cluster.hh"
 #include "scaling/report.hh"
 #include "scaling/suite_analysis.hh"
@@ -251,6 +256,100 @@ TEST(EndToEndTest, StarvedKernelsHaveSmallLaunches)
         EXPECT_EQ(occ.limiter, gpu::OccupancyLimiter::LaunchSize)
             << c.kernel;
     }
+}
+
+TEST(EndToEndTest, SweepEmitsRequiredTelemetry)
+{
+    // The acceptance telemetry for a census-style run: trace spans
+    // per swept kernel and per worker thread, and the sweep metrics.
+    const std::string trace_path =
+        ::testing::TempDir() + "/e2e_sweep.trace.json";
+    obs::TraceSession::start(trace_path);
+
+    const gpu::AnalyticModel model;
+    const auto space = scaling::ConfigSpace::testGrid();
+    const auto kernels =
+        workloads::WorkloadRegistry::instance().allKernels();
+    const auto surfaces = harness::sweepKernels(model, kernels, space);
+    ASSERT_EQ(surfaces.size(), kernels.size());
+    ASSERT_GT(obs::TraceSession::stop(), 0u);
+
+    std::ifstream is(trace_path);
+    ASSERT_TRUE(is);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const obs::JsonValue doc = obs::parseJson(buffer.str());
+
+    size_t kernel_spans = 0, worker_spans = 0;
+    for (const auto &ev : doc.at("traceEvents").array) {
+        if (ev.at("ph").str != "X")
+            continue;
+        const std::string &name = ev.at("name").str;
+        if (name.rfind("sweep/", 0) == 0)
+            ++kernel_spans;
+        if (name.rfind("parallelFor.", 0) == 0)
+            ++worker_spans;
+    }
+    // One span per swept kernel, and at least one per worker thread
+    // (single-core hosts run the serial path, also a span).
+    EXPECT_GE(kernel_spans, kernels.size());
+    EXPECT_GE(worker_spans, 1u);
+
+    // The registry carries the acceptance metrics with live values.
+    auto &reg = obs::Registry::instance();
+    EXPECT_GE(reg.counter("sweep.estimates.count").value(),
+              kernels.size() * space.size());
+    EXPECT_GE(
+        reg.histogram("sweep.estimate.latency").percentile(50), 0.0);
+    EXPECT_GT(reg.histogram("sweep.estimate.latency").count(), 0u);
+    EXPECT_GE(reg.gauge("parallel.worker.imbalance").value(), 1.0);
+
+    const obs::JsonValue snap = obs::parseJson(reg.snapshotJson());
+    EXPECT_NE(snap.at("counters").find("sweep.estimates.count"),
+              nullptr);
+    EXPECT_NE(snap.at("histograms").find("sweep.estimate.latency"),
+              nullptr);
+    EXPECT_NE(snap.at("gauges").find("parallel.worker.imbalance"),
+              nullptr);
+}
+
+TEST(EndToEndTest, CensusProducesValidManifest)
+{
+    const gpu::AnalyticModel model;
+    const obs::ManifestTimer timer;
+    const auto census = harness::runCensus(
+        model, scaling::ConfigSpace::testGrid());
+
+    obs::RunManifest manifest =
+        harness::censusManifest(census, model);
+    manifest.argv = {"census"};
+    timer.finalize(manifest);
+
+    const std::string path =
+        ::testing::TempDir() + "/e2e_census.manifest.json";
+    obs::writeManifest(manifest, path);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const obs::JsonValue v = obs::parseJson(buffer.str());
+
+    EXPECT_EQ(v.at("tool").str, "gpuscale");
+    EXPECT_EQ(v.at("command").str, "census");
+    EXPECT_EQ(v.at("model").str, "analytic");
+    EXPECT_DOUBLE_EQ(v.at("workload").at("num_kernels").number, 267.0);
+    EXPECT_DOUBLE_EQ(v.at("config_space").at("num_configs").number,
+                     27.0);
+    EXPECT_EQ(v.at("config_space").at("cu_values").array.size(), 3u);
+    EXPECT_GT(v.at("wall_time_s").number, 0.0);
+    EXPECT_FALSE(v.at("started_at").str.empty());
+    // The embedded metrics snapshot reflects the sweep that ran.
+    EXPECT_GE(v.at("metrics")
+                  .at("counters")
+                  .at("sweep.estimates.count")
+                  .number,
+              267.0 * 27.0);
 }
 
 } // namespace

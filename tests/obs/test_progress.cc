@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the progress reporter.
+ */
+
+#include "obs/progress.hh"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gpuscale {
+namespace obs {
+namespace {
+
+TEST(ProgressTest, CountsTicks)
+{
+    ProgressReporter p("test", 100, /*enabled=*/false);
+    EXPECT_EQ(p.done(), 0u);
+    p.tick();
+    p.tick(9);
+    EXPECT_EQ(p.done(), 10u);
+    EXPECT_EQ(p.total(), 100u);
+}
+
+TEST(ProgressTest, RenderLineHasCountsAndPercent)
+{
+    ProgressReporter p("census", 200, /*enabled=*/false);
+    p.tick(50);
+    const std::string line = p.renderLine();
+    EXPECT_NE(line.find("census"), std::string::npos);
+    EXPECT_NE(line.find("50/200"), std::string::npos);
+    EXPECT_NE(line.find("25.0%"), std::string::npos);
+    EXPECT_NE(line.find("/s"), std::string::npos);
+}
+
+TEST(ProgressTest, RateIsPositiveAfterWork)
+{
+    ProgressReporter p("rate", 10, /*enabled=*/false);
+    p.tick(5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GT(p.ratePerSec(), 0.0);
+}
+
+TEST(ProgressTest, ConcurrentTicksAllCounted)
+{
+    ProgressReporter p("mt", 8 * 10000, /*enabled=*/false);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&p]() {
+            for (int i = 0; i < 10000; ++i)
+                p.tick();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(p.done(), 80000u);
+}
+
+TEST(ProgressTest, FinishIsIdempotent)
+{
+    ProgressReporter p("fin", 2, /*enabled=*/false);
+    p.tick(2);
+    p.finish();
+    p.finish(); // second call must be a no-op
+    EXPECT_EQ(p.done(), 2u);
+}
+
+TEST(ProgressTest, ZeroTotalDoesNotDivide)
+{
+    ProgressReporter p("empty", 0, /*enabled=*/false);
+    const std::string line = p.renderLine();
+    EXPECT_NE(line.find("0/0"), std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace gpuscale

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the run-manifest writer.
+ */
+
+#include "obs/run_manifest.hh"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace gpuscale {
+namespace obs {
+namespace {
+
+RunManifest
+sampleManifest()
+{
+    RunManifest m;
+    m.command = "census";
+    m.argv = {"census", "--progress"};
+    m.model = "analytic";
+    m.seed = 42;
+    m.threads = 4;
+    m.num_kernels = 267;
+    m.num_configs = 891;
+    m.num_estimates = 267 * 891;
+    m.cu_values = {4, 8, 12};
+    m.core_clks_mhz = {200, 300};
+    m.mem_clks_mhz = {150, 287.5};
+    m.extra["report"] = "classifications.csv";
+    return m;
+}
+
+TEST(RunManifestTest, JsonCarriesAllFields)
+{
+    RunManifest m = sampleManifest();
+    const ManifestTimer timer;
+    timer.finalize(m);
+
+    const JsonValue v = parseJson(renderManifestJson(m));
+    EXPECT_DOUBLE_EQ(v.at("schema_version").number, 1.0);
+    EXPECT_EQ(v.at("tool").str, "gpuscale");
+    EXPECT_EQ(v.at("command").str, "census");
+    ASSERT_EQ(v.at("argv").array.size(), 2u);
+    EXPECT_EQ(v.at("argv").array[1].str, "--progress");
+    EXPECT_EQ(v.at("model").str, "analytic");
+    EXPECT_DOUBLE_EQ(v.at("seed").number, 42.0);
+    EXPECT_DOUBLE_EQ(v.at("threads").number, 4.0);
+    EXPECT_GE(v.at("wall_time_s").number, 0.0);
+    EXPECT_GE(v.at("cpu_time_s").number, 0.0);
+
+    const JsonValue &space = v.at("config_space");
+    EXPECT_EQ(space.at("cu_values").array.size(), 3u);
+    EXPECT_DOUBLE_EQ(space.at("mem_clks_mhz").array[1].number, 287.5);
+    EXPECT_DOUBLE_EQ(space.at("num_configs").number, 891.0);
+
+    EXPECT_DOUBLE_EQ(v.at("workload").at("num_kernels").number, 267.0);
+    EXPECT_EQ(v.at("extra").at("report").str, "classifications.csv");
+
+    // started_at is ISO-8601 UTC: "YYYY-MM-DDTHH:MM:SSZ".
+    const std::string &ts = v.at("started_at").str;
+    ASSERT_EQ(ts.size(), 20u);
+    EXPECT_EQ(ts[4], '-');
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(RunManifestTest, EmbedsMetricsSnapshotWhenAsked)
+{
+    Registry::instance()
+        .counter("test.manifest.counter")
+        .inc(3);
+
+    const JsonValue with =
+        parseJson(renderManifestJson(sampleManifest(), true));
+    ASSERT_NE(with.find("metrics"), nullptr);
+    EXPECT_GE(with.at("metrics")
+                  .at("counters")
+                  .at("test.manifest.counter")
+                  .number,
+              3.0);
+
+    const JsonValue without =
+        parseJson(renderManifestJson(sampleManifest(), false));
+    EXPECT_EQ(without.find("metrics"), nullptr);
+}
+
+TEST(RunManifestTest, WritesFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "/manifest_test.json";
+    writeManifest(sampleManifest(), path);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const JsonValue v = parseJson(buffer.str());
+    EXPECT_EQ(v.at("command").str, "census");
+}
+
+TEST(RunManifestTest, ManifestPathConvention)
+{
+    EXPECT_EQ(manifestPathFor("classifications.csv"),
+              "classifications.manifest.json");
+    EXPECT_EQ(manifestPathFor("out/report.csv"),
+              "out/report.manifest.json");
+    EXPECT_EQ(manifestPathFor("plain"), "plain.manifest.json");
+    EXPECT_EQ(manifestPathFor("dir.d/plain"),
+              "dir.d/plain.manifest.json");
+}
+
+} // namespace
+} // namespace obs
+} // namespace gpuscale
