@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_threshold_sensitivity.dir/bench_a2_threshold_sensitivity.cc.o"
+  "CMakeFiles/bench_a2_threshold_sensitivity.dir/bench_a2_threshold_sensitivity.cc.o.d"
+  "bench_a2_threshold_sensitivity"
+  "bench_a2_threshold_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_threshold_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_noise_robustness.dir/bench_a4_noise_robustness.cc.o"
+  "CMakeFiles/bench_a4_noise_robustness.dir/bench_a4_noise_robustness.cc.o.d"
+  "bench_a4_noise_robustness"
+  "bench_a4_noise_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_noise_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_cross_fidelity.dir/bench_a5_cross_fidelity.cc.o"
+  "CMakeFiles/bench_a5_cross_fidelity.dir/bench_a5_cross_fidelity.cc.o.d"
+  "bench_a5_cross_fidelity"
+  "bench_a5_cross_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_cross_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

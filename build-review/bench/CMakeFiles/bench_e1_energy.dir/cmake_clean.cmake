@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_energy.dir/bench_e1_energy.cc.o"
+  "CMakeFiles/bench_e1_energy.dir/bench_e1_energy.cc.o.d"
+  "bench_e1_energy"
+  "bench_e1_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_prediction.dir/bench_e2_prediction.cc.o"
+  "CMakeFiles/bench_e2_prediction.dir/bench_e2_prediction.cc.o.d"
+  "bench_e2_prediction"
+  "bench_e2_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_input_scaling.dir/bench_e3_input_scaling.cc.o"
+  "CMakeFiles/bench_e3_input_scaling.dir/bench_e3_input_scaling.cc.o.d"
+  "bench_e3_input_scaling"
+  "bench_e3_input_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_input_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_freq_scaling.dir/bench_f1_freq_scaling.cc.o"
+  "CMakeFiles/bench_f1_freq_scaling.dir/bench_f1_freq_scaling.cc.o.d"
+  "bench_f1_freq_scaling"
+  "bench_f1_freq_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_freq_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_bw_scaling.dir/bench_f2_bw_scaling.cc.o"
+  "CMakeFiles/bench_f2_bw_scaling.dir/bench_f2_bw_scaling.cc.o.d"
+  "bench_f2_bw_scaling"
+  "bench_f2_bw_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_bw_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_taxonomy_hist.dir/bench_f4_taxonomy_hist.cc.o"
+  "CMakeFiles/bench_f4_taxonomy_hist.dir/bench_f4_taxonomy_hist.cc.o.d"
+  "bench_f4_taxonomy_hist"
+  "bench_f4_taxonomy_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_taxonomy_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

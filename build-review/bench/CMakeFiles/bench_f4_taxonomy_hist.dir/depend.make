@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f4_taxonomy_hist.
+# This may be replaced when dependencies are built.

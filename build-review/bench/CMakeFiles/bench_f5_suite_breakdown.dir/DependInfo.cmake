@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f5_suite_breakdown.cc" "bench/CMakeFiles/bench_f5_suite_breakdown.dir/bench_f5_suite_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_f5_suite_breakdown.dir/bench_f5_suite_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/harness/CMakeFiles/gpuscale_harness.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/scaling/CMakeFiles/gpuscale_scaling.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/gpuscale_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gpu/CMakeFiles/gpuscale_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gpuscale_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/base/CMakeFiles/gpuscale_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_suite_breakdown.dir/bench_f5_suite_breakdown.cc.o"
+  "CMakeFiles/bench_f5_suite_breakdown.dir/bench_f5_suite_breakdown.cc.o.d"
+  "bench_f5_suite_breakdown"
+  "bench_f5_suite_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_suite_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

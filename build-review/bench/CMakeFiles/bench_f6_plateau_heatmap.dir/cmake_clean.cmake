@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_plateau_heatmap.dir/bench_f6_plateau_heatmap.cc.o"
+  "CMakeFiles/bench_f6_plateau_heatmap.dir/bench_f6_plateau_heatmap.cc.o.d"
+  "bench_f6_plateau_heatmap"
+  "bench_f6_plateau_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_plateau_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_cluster_crosscheck.dir/bench_f7_cluster_crosscheck.cc.o"
+  "CMakeFiles/bench_f7_cluster_crosscheck.dir/bench_f7_cluster_crosscheck.cc.o.d"
+  "bench_f7_cluster_crosscheck"
+  "bench_f7_cluster_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_cluster_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_config_space.dir/bench_t1_config_space.cc.o"
+  "CMakeFiles/bench_t1_config_space.dir/bench_t1_config_space.cc.o.d"
+  "bench_t1_config_space"
+  "bench_t1_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

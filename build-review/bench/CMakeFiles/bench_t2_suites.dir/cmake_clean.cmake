@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_suites.dir/bench_t2_suites.cc.o"
+  "CMakeFiles/bench_t2_suites.dir/bench_t2_suites.cc.o.d"
+  "bench_t2_suites"
+  "bench_t2_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_taxonomy_census.dir/bench_t3_taxonomy_census.cc.o"
+  "CMakeFiles/bench_t3_taxonomy_census.dir/bench_t3_taxonomy_census.cc.o.d"
+  "bench_t3_taxonomy_census"
+  "bench_t3_taxonomy_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_taxonomy_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

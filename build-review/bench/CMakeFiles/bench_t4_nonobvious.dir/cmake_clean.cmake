@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_nonobvious.dir/bench_t4_nonobvious.cc.o"
+  "CMakeFiles/bench_t4_nonobvious.dir/bench_t4_nonobvious.cc.o.d"
+  "bench_t4_nonobvious"
+  "bench_t4_nonobvious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_nonobvious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

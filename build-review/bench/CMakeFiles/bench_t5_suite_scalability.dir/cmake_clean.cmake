@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_suite_scalability.dir/bench_t5_suite_scalability.cc.o"
+  "CMakeFiles/bench_t5_suite_scalability.dir/bench_t5_suite_scalability.cc.o.d"
+  "bench_t5_suite_scalability"
+  "bench_t5_suite_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_suite_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

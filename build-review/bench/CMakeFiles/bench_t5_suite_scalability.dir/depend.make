@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t5_suite_scalability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_suite.dir/characterize_suite.cpp.o"
+  "CMakeFiles/characterize_suite.dir/characterize_suite.cpp.o.d"
+  "characterize_suite"
+  "characterize_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

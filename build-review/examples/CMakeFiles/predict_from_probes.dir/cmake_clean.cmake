@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_from_probes.dir/predict_from_probes.cpp.o"
+  "CMakeFiles/predict_from_probes.dir/predict_from_probes.cpp.o.d"
+  "predict_from_probes"
+  "predict_from_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_from_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

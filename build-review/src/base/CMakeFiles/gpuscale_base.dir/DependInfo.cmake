@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/csv.cc" "src/base/CMakeFiles/gpuscale_base.dir/csv.cc.o" "gcc" "src/base/CMakeFiles/gpuscale_base.dir/csv.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/gpuscale_base.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/gpuscale_base.dir/logging.cc.o.d"
+  "/root/repo/src/base/math_util.cc" "src/base/CMakeFiles/gpuscale_base.dir/math_util.cc.o" "gcc" "src/base/CMakeFiles/gpuscale_base.dir/math_util.cc.o.d"
+  "/root/repo/src/base/plot.cc" "src/base/CMakeFiles/gpuscale_base.dir/plot.cc.o" "gcc" "src/base/CMakeFiles/gpuscale_base.dir/plot.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/base/CMakeFiles/gpuscale_base.dir/random.cc.o" "gcc" "src/base/CMakeFiles/gpuscale_base.dir/random.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/base/CMakeFiles/gpuscale_base.dir/stats.cc.o" "gcc" "src/base/CMakeFiles/gpuscale_base.dir/stats.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/base/CMakeFiles/gpuscale_base.dir/string_util.cc.o" "gcc" "src/base/CMakeFiles/gpuscale_base.dir/string_util.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/base/CMakeFiles/gpuscale_base.dir/table.cc.o" "gcc" "src/base/CMakeFiles/gpuscale_base.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuscale_base.dir/csv.cc.o"
+  "CMakeFiles/gpuscale_base.dir/csv.cc.o.d"
+  "CMakeFiles/gpuscale_base.dir/logging.cc.o"
+  "CMakeFiles/gpuscale_base.dir/logging.cc.o.d"
+  "CMakeFiles/gpuscale_base.dir/math_util.cc.o"
+  "CMakeFiles/gpuscale_base.dir/math_util.cc.o.d"
+  "CMakeFiles/gpuscale_base.dir/plot.cc.o"
+  "CMakeFiles/gpuscale_base.dir/plot.cc.o.d"
+  "CMakeFiles/gpuscale_base.dir/random.cc.o"
+  "CMakeFiles/gpuscale_base.dir/random.cc.o.d"
+  "CMakeFiles/gpuscale_base.dir/stats.cc.o"
+  "CMakeFiles/gpuscale_base.dir/stats.cc.o.d"
+  "CMakeFiles/gpuscale_base.dir/string_util.cc.o"
+  "CMakeFiles/gpuscale_base.dir/string_util.cc.o.d"
+  "CMakeFiles/gpuscale_base.dir/table.cc.o"
+  "CMakeFiles/gpuscale_base.dir/table.cc.o.d"
+  "libgpuscale_base.a"
+  "libgpuscale_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuscale_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

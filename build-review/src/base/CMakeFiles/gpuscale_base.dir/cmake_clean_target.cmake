@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuscale_base.a"
+)

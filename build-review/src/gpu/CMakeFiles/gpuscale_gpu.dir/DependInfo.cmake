@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/analytic_model.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/analytic_model.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/analytic_model.cc.o.d"
+  "/root/repo/src/gpu/cache_model.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/cache_model.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/cache_model.cc.o.d"
+  "/root/repo/src/gpu/dispatch.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/dispatch.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/dispatch.cc.o.d"
+  "/root/repo/src/gpu/gpu_config.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/gpu_config.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/gpu_config.cc.o.d"
+  "/root/repo/src/gpu/interconnect.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/interconnect.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/interconnect.cc.o.d"
+  "/root/repo/src/gpu/kernel_desc.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/kernel_desc.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/kernel_desc.cc.o.d"
+  "/root/repo/src/gpu/memory_system.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/memory_system.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/memory_system.cc.o.d"
+  "/root/repo/src/gpu/occupancy.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/occupancy.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/occupancy.cc.o.d"
+  "/root/repo/src/gpu/power_model.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/power_model.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/power_model.cc.o.d"
+  "/root/repo/src/gpu/timing/event_sim.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/timing/event_sim.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/timing/event_sim.cc.o.d"
+  "/root/repo/src/gpu/timing/resource.cc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/timing/resource.cc.o" "gcc" "src/gpu/CMakeFiles/gpuscale_gpu.dir/timing/resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/gpuscale_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/base/CMakeFiles/gpuscale_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuscale_gpu.dir/analytic_model.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/analytic_model.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/cache_model.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/cache_model.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/dispatch.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/dispatch.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/gpu_config.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/gpu_config.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/interconnect.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/interconnect.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/kernel_desc.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/kernel_desc.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/memory_system.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/memory_system.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/occupancy.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/occupancy.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/power_model.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/power_model.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/timing/event_sim.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/timing/event_sim.cc.o.d"
+  "CMakeFiles/gpuscale_gpu.dir/timing/resource.cc.o"
+  "CMakeFiles/gpuscale_gpu.dir/timing/resource.cc.o.d"
+  "libgpuscale_gpu.a"
+  "libgpuscale_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuscale_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

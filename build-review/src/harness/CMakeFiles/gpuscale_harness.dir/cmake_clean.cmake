@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuscale_harness.dir/experiment.cc.o"
+  "CMakeFiles/gpuscale_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/gpuscale_harness.dir/noise.cc.o"
+  "CMakeFiles/gpuscale_harness.dir/noise.cc.o.d"
+  "CMakeFiles/gpuscale_harness.dir/parallel.cc.o"
+  "CMakeFiles/gpuscale_harness.dir/parallel.cc.o.d"
+  "CMakeFiles/gpuscale_harness.dir/sweep.cc.o"
+  "CMakeFiles/gpuscale_harness.dir/sweep.cc.o.d"
+  "libgpuscale_harness.a"
+  "libgpuscale_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuscale_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

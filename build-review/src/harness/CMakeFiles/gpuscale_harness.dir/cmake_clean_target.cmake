@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuscale_harness.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuscale_obs.dir/json.cc.o"
+  "CMakeFiles/gpuscale_obs.dir/json.cc.o.d"
+  "CMakeFiles/gpuscale_obs.dir/metrics.cc.o"
+  "CMakeFiles/gpuscale_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/gpuscale_obs.dir/progress.cc.o"
+  "CMakeFiles/gpuscale_obs.dir/progress.cc.o.d"
+  "CMakeFiles/gpuscale_obs.dir/run_manifest.cc.o"
+  "CMakeFiles/gpuscale_obs.dir/run_manifest.cc.o.d"
+  "CMakeFiles/gpuscale_obs.dir/trace.cc.o"
+  "CMakeFiles/gpuscale_obs.dir/trace.cc.o.d"
+  "libgpuscale_obs.a"
+  "libgpuscale_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuscale_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

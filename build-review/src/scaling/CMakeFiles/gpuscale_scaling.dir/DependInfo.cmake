@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/cluster.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/cluster.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/cluster.cc.o.d"
+  "/root/repo/src/scaling/config_space.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/config_space.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/config_space.cc.o.d"
+  "/root/repo/src/scaling/input_scaling.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/input_scaling.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/input_scaling.cc.o.d"
+  "/root/repo/src/scaling/predictor.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/predictor.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/predictor.cc.o.d"
+  "/root/repo/src/scaling/report.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/report.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/report.cc.o.d"
+  "/root/repo/src/scaling/shape.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/shape.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/shape.cc.o.d"
+  "/root/repo/src/scaling/suite_analysis.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/suite_analysis.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/suite_analysis.cc.o.d"
+  "/root/repo/src/scaling/surface.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/surface.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/surface.cc.o.d"
+  "/root/repo/src/scaling/taxonomy.cc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/taxonomy.cc.o" "gcc" "src/scaling/CMakeFiles/gpuscale_scaling.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/gpu/CMakeFiles/gpuscale_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/base/CMakeFiles/gpuscale_base.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gpuscale_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuscale_scaling.dir/cluster.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/cluster.cc.o.d"
+  "CMakeFiles/gpuscale_scaling.dir/config_space.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/config_space.cc.o.d"
+  "CMakeFiles/gpuscale_scaling.dir/input_scaling.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/input_scaling.cc.o.d"
+  "CMakeFiles/gpuscale_scaling.dir/predictor.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/predictor.cc.o.d"
+  "CMakeFiles/gpuscale_scaling.dir/report.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/report.cc.o.d"
+  "CMakeFiles/gpuscale_scaling.dir/shape.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/shape.cc.o.d"
+  "CMakeFiles/gpuscale_scaling.dir/suite_analysis.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/suite_analysis.cc.o.d"
+  "CMakeFiles/gpuscale_scaling.dir/surface.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/surface.cc.o.d"
+  "CMakeFiles/gpuscale_scaling.dir/taxonomy.cc.o"
+  "CMakeFiles/gpuscale_scaling.dir/taxonomy.cc.o.d"
+  "libgpuscale_scaling.a"
+  "libgpuscale_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuscale_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuscale_cli.dir/gpuscale_cli.cc.o"
+  "CMakeFiles/gpuscale_cli.dir/gpuscale_cli.cc.o.d"
+  "gpuscale"
+  "gpuscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuscale_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

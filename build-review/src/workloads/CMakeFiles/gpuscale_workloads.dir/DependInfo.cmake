@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/archetypes.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/archetypes.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/archetypes.cc.o.d"
+  "/root/repo/src/workloads/generator.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/generator.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/generator.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/suite_amdsdk.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_amdsdk.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_amdsdk.cc.o.d"
+  "/root/repo/src/workloads/suite_opendwarfs.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_opendwarfs.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_opendwarfs.cc.o.d"
+  "/root/repo/src/workloads/suite_pannotia.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_pannotia.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_pannotia.cc.o.d"
+  "/root/repo/src/workloads/suite_parboil.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_parboil.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_parboil.cc.o.d"
+  "/root/repo/src/workloads/suite_polybench.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_polybench.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_polybench.cc.o.d"
+  "/root/repo/src/workloads/suite_rodinia.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_rodinia.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_rodinia.cc.o.d"
+  "/root/repo/src/workloads/suite_shoc.cc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_shoc.cc.o" "gcc" "src/workloads/CMakeFiles/gpuscale_workloads.dir/suite_shoc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/gpu/CMakeFiles/gpuscale_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/base/CMakeFiles/gpuscale_base.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gpuscale_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

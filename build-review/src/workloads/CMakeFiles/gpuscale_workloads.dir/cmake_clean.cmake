@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuscale_workloads.dir/archetypes.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/archetypes.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/generator.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/generator.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/registry.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/suite_amdsdk.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/suite_amdsdk.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/suite_opendwarfs.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/suite_opendwarfs.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/suite_pannotia.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/suite_pannotia.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/suite_parboil.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/suite_parboil.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/suite_polybench.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/suite_polybench.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/suite_rodinia.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/suite_rodinia.cc.o.d"
+  "CMakeFiles/gpuscale_workloads.dir/suite_shoc.cc.o"
+  "CMakeFiles/gpuscale_workloads.dir/suite_shoc.cc.o.d"
+  "libgpuscale_workloads.a"
+  "libgpuscale_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuscale_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

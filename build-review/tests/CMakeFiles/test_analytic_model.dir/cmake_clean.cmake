@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic_model.dir/gpu/test_analytic_model.cc.o"
+  "CMakeFiles/test_analytic_model.dir/gpu/test_analytic_model.cc.o.d"
+  "test_analytic_model"
+  "test_analytic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

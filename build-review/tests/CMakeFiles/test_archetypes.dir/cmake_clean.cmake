@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archetypes.dir/workloads/test_archetypes.cc.o"
+  "CMakeFiles/test_archetypes.dir/workloads/test_archetypes.cc.o.d"
+  "test_archetypes"
+  "test_archetypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archetypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatch.dir/gpu/test_dispatch.cc.o"
+  "CMakeFiles/test_dispatch.dir/gpu/test_dispatch.cc.o.d"
+  "test_dispatch"
+  "test_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_sim.dir/gpu/test_event_sim.cc.o"
+  "CMakeFiles/test_event_sim.dir/gpu/test_event_sim.cc.o.d"
+  "test_event_sim"
+  "test_event_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_scaling.dir/scaling/test_input_scaling.cc.o"
+  "CMakeFiles/test_input_scaling.dir/scaling/test_input_scaling.cc.o.d"
+  "test_input_scaling"
+  "test_input_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

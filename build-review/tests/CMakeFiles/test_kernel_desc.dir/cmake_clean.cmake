@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_desc.dir/gpu/test_kernel_desc.cc.o"
+  "CMakeFiles/test_kernel_desc.dir/gpu/test_kernel_desc.cc.o.d"
+  "test_kernel_desc"
+  "test_kernel_desc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_desc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

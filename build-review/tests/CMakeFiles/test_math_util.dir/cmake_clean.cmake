@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_util.dir/base/test_math_util.cc.o"
+  "CMakeFiles/test_math_util.dir/base/test_math_util.cc.o.d"
+  "test_math_util"
+  "test_math_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_result.dir/gpu/test_perf_result.cc.o"
+  "CMakeFiles/test_perf_result.dir/gpu/test_perf_result.cc.o.d"
+  "test_perf_result"
+  "test_perf_result.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

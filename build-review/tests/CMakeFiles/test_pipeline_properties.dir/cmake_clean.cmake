@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_properties.dir/integration/test_pipeline_properties.cc.o"
+  "CMakeFiles/test_pipeline_properties.dir/integration/test_pipeline_properties.cc.o.d"
+  "test_pipeline_properties"
+  "test_pipeline_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

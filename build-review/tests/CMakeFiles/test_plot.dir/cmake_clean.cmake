@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plot.dir/base/test_plot.cc.o"
+  "CMakeFiles/test_plot.dir/base/test_plot.cc.o.d"
+  "test_plot"
+  "test_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_manifest.dir/obs/test_run_manifest.cc.o"
+  "CMakeFiles/test_run_manifest.dir/obs/test_run_manifest.cc.o.d"
+  "test_run_manifest"
+  "test_run_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape.dir/scaling/test_shape.cc.o"
+  "CMakeFiles/test_shape.dir/scaling/test_shape.cc.o.d"
+  "test_shape"
+  "test_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

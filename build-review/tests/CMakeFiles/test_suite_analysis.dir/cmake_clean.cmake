@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_analysis.dir/scaling/test_suite_analysis.cc.o"
+  "CMakeFiles/test_suite_analysis.dir/scaling/test_suite_analysis.cc.o.d"
+  "test_suite_analysis"
+  "test_suite_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

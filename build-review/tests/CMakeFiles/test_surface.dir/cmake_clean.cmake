@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface.dir/scaling/test_surface.cc.o"
+  "CMakeFiles/test_surface.dir/scaling/test_surface.cc.o.d"
+  "test_surface"
+  "test_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

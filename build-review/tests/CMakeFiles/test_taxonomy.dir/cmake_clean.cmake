@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taxonomy.dir/scaling/test_taxonomy.cc.o"
+  "CMakeFiles/test_taxonomy.dir/scaling/test_taxonomy.cc.o.d"
+  "test_taxonomy"
+  "test_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
