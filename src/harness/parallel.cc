@@ -1,17 +1,22 @@
 /**
  * @file
  * parallelFor implementation.
+ *
+ * The heavy lifting lives in ThreadPool (thread_pool.hh): persistent
+ * workers, chunked index dispensing, and caller-thread exception
+ * propagation.  This translation unit keeps the stable parallelFor()
+ * entry point and owns its telemetry.
  */
 
 #include "parallel.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "thread_pool.hh"
 
 namespace gpuscale {
 namespace harness {
@@ -24,6 +29,8 @@ struct ParallelMetrics {
     obs::Counter &tasks;
     obs::Gauge &workers_gauge;
     obs::Gauge &imbalance;
+    obs::Gauge &pool_size;
+    obs::Gauge &pool_utilization;
 
     static ParallelMetrics &
     get()
@@ -38,6 +45,12 @@ struct ParallelMetrics {
             obs::Registry::instance().gauge(
                 "parallel.worker.imbalance",
                 "last call's max worker load over the ideal share"),
+            obs::Registry::instance().gauge(
+                "parallel.pool.size",
+                "persistent pool worker threads alive"),
+            obs::Registry::instance().gauge(
+                "parallel.pool.utilization",
+                "last call's participating workers over the pool size"),
         };
         return m;
     }
@@ -63,9 +76,12 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
         workers = 1;
     workers = static_cast<unsigned>(
         std::min<size_t>(workers, n));
-    metrics.workers_gauge.set(workers);
 
-    if (workers <= 1) {
+    // Nested calls (fn itself calling parallelFor from a pool worker)
+    // degrade to the serial path: a nested pool region would queue
+    // behind — and deadlock with — its own enclosing call.
+    if (workers <= 1 || ThreadPool::onWorkerThread()) {
+        metrics.workers_gauge.set(1.0);
         GPUSCALE_TRACE_SCOPE("parallelFor.serial");
         for (size_t i = 0; i < n; ++i)
             fn(i);
@@ -73,34 +89,26 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
         return;
     }
 
-    std::atomic<size_t> next{0};
-    std::vector<uint64_t> per_worker_tasks(workers, 0);
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        threads.emplace_back([&, w]() {
-            GPUSCALE_TRACE_SCOPE("parallelFor.worker");
-            uint64_t done = 0;
-            while (true) {
-                const size_t i = next.fetch_add(1);
-                if (i >= n)
-                    break;
-                fn(i);
-                ++done;
-            }
-            per_worker_tasks[w] = done;
-        });
-    }
-    for (auto &t : threads)
-        t.join();
+    ThreadPool &pool = ThreadPool::instance();
+    const unsigned available = pool.ensure(workers);
+    const unsigned participants = std::min(workers, available);
+    metrics.workers_gauge.set(participants);
+    metrics.pool_size.set(available);
+    metrics.pool_utilization.set(static_cast<double>(participants) /
+                                 static_cast<double>(available));
+
+    // Rethrows the first worker exception after draining the region;
+    // the imbalance gauge keeps its previous value in that case.
+    std::vector<uint64_t> per_worker_tasks;
+    pool.run(n, fn, participants, per_worker_tasks);
 
     // Imbalance: busiest worker's task count over the ideal n/workers
-    // share.  1.0 is perfect; the dynamic next-index queue keeps this
+    // share.  1.0 is perfect; chunked dynamic dispensing keeps this
     // near 1 unless per-task cost varies wildly.
     const uint64_t busiest = *std::max_element(per_worker_tasks.begin(),
                                                per_worker_tasks.end());
     const double ideal =
-        static_cast<double>(n) / static_cast<double>(workers);
+        static_cast<double>(n) / static_cast<double>(participants);
     metrics.imbalance.set(static_cast<double>(busiest) / ideal);
 }
 

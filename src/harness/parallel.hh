@@ -2,10 +2,17 @@
  * @file
  * Minimal data-parallel helper for sweeps.
  *
- * parallelFor() partitions [0, n) across worker threads.  The work
+ * parallelFor() partitions [0, n) across the persistent worker pool
+ * (thread_pool.hh): workers are created once and reused across
+ * calls, and indices are dispensed in contiguous chunks.  The work
  * function must be safe to call concurrently on distinct indices;
  * results should be written to pre-sized per-index slots.  On a
  * single-core host this degrades to a plain loop.
+ *
+ * Exception safety: if fn throws, the first exception is rethrown on
+ * the calling thread after the region quiesces — indices not yet
+ * dispensed are abandoned, so one bad work item fails the call with
+ * diagnostics instead of std::terminate'ing the process.
  */
 
 #ifndef GPUSCALE_HARNESS_PARALLEL_HH
@@ -19,7 +26,8 @@ namespace harness {
 
 /**
  * Run fn(i) for every i in [0, n), using up to max_threads workers
- * (0 = hardware concurrency).
+ * (0 = hardware concurrency).  Rethrows the first exception any
+ * fn(i) raised once the remaining work has been drained.
  */
 void parallelFor(size_t n, const std::function<void(size_t)> &fn,
                  unsigned max_threads = 0);

@@ -6,9 +6,11 @@
 #include "json.hh"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <system_error>
 
 #include "base/logging.hh"
 
@@ -144,9 +146,15 @@ JsonWriter::value(double v)
         // JSON has no NaN/Inf; null keeps the document valid.
         os_ << "null";
     } else {
+        // std::to_chars is locale-independent ("%.12g" under an
+        // LC_NUMERIC locale with a comma decimal separator would
+        // emit invalid JSON).
         char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.12g", v);
-        os_ << buf;
+        const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                       std::chars_format::general, 12);
+        panic_if(res.ec != std::errc(),
+                 "JsonWriter: double formatting failed");
+        os_.write(buf, res.ptr - buf);
     }
     if (stack_.empty())
         done_ = true;
@@ -455,10 +463,16 @@ class Parser
         if (pos_ == start)
             fail("expected a value");
         const std::string tok = text_.substr(start, pos_ - start);
-        char *end = nullptr;
-        const double d = std::strtod(tok.c_str(), &end);
-        if (end == nullptr || *end != '\0')
+        // std::from_chars always parses the C-locale (i.e. JSON)
+        // number grammar; strtod would reject "1.5" under a
+        // comma-decimal LC_NUMERIC locale.
+        double d = 0.0;
+        const auto res =
+            std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (res.ec != std::errc() ||
+            res.ptr != tok.data() + tok.size()) {
             fail("malformed number '" + tok + "'");
+        }
         JsonValue v;
         v.type = JsonValue::Type::Number;
         v.number = d;

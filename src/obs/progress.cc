@@ -75,6 +75,14 @@ void
 ProgressReporter::paint(bool final_line)
 {
     std::lock_guard<std::mutex> lock(paint_mu_);
+    // A late worker tick() can pass its finished_ check and reach
+    // here after finish() already painted the final line; repainting
+    // would smear a progress line after the final newline.  The
+    // final paint latches under paint_mu_, and later paints drop.
+    if (final_painted_)
+        return;
+    if (final_line)
+        final_painted_ = true;
     // Trailing spaces clear leftovers from a longer previous line.
     std::fprintf(stderr, "\r%-70s%s", renderLine().c_str(),
                  final_line ? "\n" : "");

@@ -70,6 +70,8 @@ class ProgressReporter
     std::atomic<int64_t> last_paint_ms_{-1};
     std::atomic<bool> finished_{false};
     std::mutex paint_mu_;
+    /** Guarded by paint_mu_; true once the final line went out. */
+    bool final_painted_ = false;
 };
 
 } // namespace obs

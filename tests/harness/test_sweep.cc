@@ -14,6 +14,7 @@
 #include "gpu/analytic_model.hh"
 #include "gpu/kernel_desc.hh"
 #include "harness/parallel.hh"
+#include "harness/thread_pool.hh"
 #include "workloads/archetypes.hh"
 
 namespace gpuscale {
@@ -77,6 +78,24 @@ TEST(SweepTest, BatchMatchesSingleSweeps)
     const auto solo2 = sweepKernel(model, k2, space);
     EXPECT_EQ(batch[0].runtimes(), solo1.runtimes());
     EXPECT_EQ(batch[1].runtimes(), solo2.runtimes());
+}
+
+TEST(SweepTest, BackToBackSweepsReusePoolWorkers)
+{
+    const gpu::AnalyticModel model;
+    const auto k1 = workloads::streaming(
+        "t/s/k1", {.wgs = 1024, .wi_per_wg = 256});
+    const auto k2 = workloads::denseCompute(
+        "t/c/k2", {.wgs = 1024, .wi_per_wg = 256});
+    const auto space = scaling::ConfigSpace::testGrid();
+    const std::vector<const gpu::KernelDesc *> kernels{&k1, &k2};
+
+    // Warm the pool with the first sweep, then assert the second
+    // respawns nothing: the persistent workers are reused.
+    sweepKernels(model, kernels, space);
+    const uint64_t spawned_before = ThreadPool::instance().spawned();
+    sweepKernels(model, kernels, space);
+    EXPECT_EQ(ThreadPool::instance().spawned(), spawned_before);
 }
 
 TEST(SweepTest, EmptyBatch)

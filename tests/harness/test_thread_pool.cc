@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the persistent thread pool behind parallelFor():
+ * exception propagation to the caller, worker reuse across calls,
+ * max_threads clamping, and clean drain after a throw.  Explicit
+ * max_threads values exercise real contention even on single-core
+ * hosts (and under TSan).
+ */
+
+#include "harness/thread_pool.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/parallel.hh"
+#include "obs/metrics.hh"
+
+namespace gpuscale {
+namespace harness {
+namespace {
+
+TEST(ThreadPoolTest, WorkerExceptionRethrownOnCaller)
+{
+    EXPECT_THROW(
+        parallelFor(
+            1000,
+            [](size_t i) {
+                if (i == 373)
+                    throw std::runtime_error("bad kernel descriptor");
+            },
+            /*max_threads=*/4),
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionMessageSurvivesPropagation)
+{
+    try {
+        parallelFor(
+            100,
+            [](size_t i) {
+                if (i == 37)
+                    throw std::runtime_error("descriptor 37 invalid");
+            },
+            /*max_threads=*/4);
+        FAIL() << "parallelFor swallowed the worker exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "descriptor 37 invalid");
+    }
+}
+
+TEST(ThreadPoolTest, OnlyFirstOfManyExceptionsSurfaces)
+{
+    // Every index throws; exactly one exception must reach the
+    // caller and the call must still terminate (drained region).
+    std::atomic<int> attempts{0};
+    EXPECT_THROW(
+        parallelFor(
+            10000,
+            [&](size_t i) {
+                attempts.fetch_add(1);
+                throw std::runtime_error("boom " + std::to_string(i));
+            },
+            /*max_threads=*/4),
+        std::runtime_error);
+    // After the first throw the dispenser shuts off: far fewer than
+    // n indices should ever have started.
+    EXPECT_LT(attempts.load(), 10000);
+}
+
+TEST(ThreadPoolTest, PoolUsableAgainAfterException)
+{
+    EXPECT_THROW(
+        parallelFor(
+            100, [](size_t) { throw std::runtime_error("x"); },
+            /*max_threads=*/4),
+        std::runtime_error);
+
+    constexpr size_t kN = 5000;
+    std::vector<std::atomic<int>> visits(kN);
+    parallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); },
+                /*max_threads=*/4);
+    for (size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, SerialPathPropagatesToo)
+{
+    EXPECT_THROW(
+        parallelFor(
+            10, [](size_t i) {
+                if (i == 5)
+                    throw std::runtime_error("serial boom");
+            },
+            /*max_threads=*/1),
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WorkersReusedAcrossCalls)
+{
+    ThreadPool &pool = ThreadPool::instance();
+
+    // Warm the pool, then record worker identity.
+    parallelFor(256, [](size_t) {}, /*max_threads=*/4);
+    const uint64_t spawned_before = pool.spawned();
+    const unsigned size_before = pool.size();
+
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    for (int call = 0; call < 8; ++call) {
+        parallelFor(
+            256,
+            [&](size_t) {
+                std::lock_guard<std::mutex> lock(mu);
+                ids.insert(std::this_thread::get_id());
+            },
+            /*max_threads=*/4);
+    }
+
+    // Back-to-back calls must reuse the warm workers, not respawn.
+    EXPECT_EQ(pool.spawned(), spawned_before);
+    EXPECT_EQ(pool.size(), size_before);
+    // Every executing thread across all 8 calls came from the same
+    // persistent worker set.
+    EXPECT_LE(ids.size(), static_cast<size_t>(size_before));
+}
+
+TEST(ThreadPoolTest, MaxThreadsClampsToIterationCount)
+{
+    auto &reg = obs::Registry::instance();
+    parallelFor(3, [](size_t) {}, /*max_threads=*/64);
+    // Only 3 indices exist, so only 3 workers may participate.
+    EXPECT_DOUBLE_EQ(reg.gauge("parallel.workers").value(), 3.0);
+}
+
+TEST(ThreadPoolTest, MaxThreadsHonoredBelowPoolSize)
+{
+    auto &reg = obs::Registry::instance();
+    ThreadPool::instance().ensure(4);
+    parallelFor(1000, [](size_t) {}, /*max_threads=*/2);
+    EXPECT_DOUBLE_EQ(reg.gauge("parallel.workers").value(), 2.0);
+    // Utilization is participants over pool size, in (0, 1].
+    const double util = reg.gauge("parallel.pool.utilization").value();
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+    EXPECT_GE(reg.gauge("parallel.pool.size").value(), 4.0);
+}
+
+TEST(ThreadPoolTest, EnsureNeverShrinksAndClamps)
+{
+    ThreadPool &pool = ThreadPool::instance();
+    const unsigned grown = pool.ensure(6);
+    EXPECT_GE(grown, 6u);
+    EXPECT_EQ(pool.ensure(2), grown);
+    EXPECT_LE(pool.ensure(ThreadPool::kMaxWorkers + 1000),
+              ThreadPool::kMaxWorkers);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDegradesToSerial)
+{
+    // fn itself calls parallelFor; the nested region must run
+    // serially on the worker instead of deadlocking behind the
+    // enclosing region.
+    std::vector<std::atomic<int>> inner_visits(64);
+    parallelFor(
+        4,
+        [&](size_t) {
+            parallelFor(64, [&](size_t i) {
+                inner_visits[i].fetch_add(1);
+            });
+        },
+        /*max_threads=*/4);
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(inner_visits[i].load(), 4) << i;
+}
+
+TEST(ThreadPoolTest, ChunkedDispensingVisitsEveryIndexOnce)
+{
+    // Large n with small per-index work stresses the chunked
+    // dispenser's boundary arithmetic.
+    constexpr size_t kN = 100000;
+    std::vector<std::atomic<int>> visits(kN);
+    parallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); },
+                /*max_threads=*/5);
+    size_t total = 0;
+    for (size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(visits[i].load(), 1) << i;
+        ++total;
+    }
+    EXPECT_EQ(total, kN);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadFalseOnCaller)
+{
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+    std::atomic<int> on_worker{0};
+    ThreadPool::instance().ensure(2);
+    parallelFor(
+        2,
+        [&](size_t) {
+            if (ThreadPool::onWorkerThread())
+                on_worker.fetch_add(1);
+        },
+        /*max_threads=*/2);
+    EXPECT_EQ(on_worker.load(), 2);
+}
+
+} // namespace
+} // namespace harness
+} // namespace gpuscale

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <sstream>
 #include <stdexcept>
 
@@ -99,6 +100,34 @@ TEST(JsonParserTest, RejectsMalformedInput)
     EXPECT_THROW(parseJson("tru"), std::runtime_error);
     EXPECT_THROW(parseJson("{} trailing"), std::runtime_error);
     EXPECT_THROW(parseJson("\"unterminated"), std::runtime_error);
+}
+
+TEST(JsonLocaleTest, NumbersRoundTripUnderCommaDecimalLocale)
+{
+    // Under a comma-decimal LC_NUMERIC locale, printf-family "%g"
+    // emits "0,25" (invalid JSON) and strtod rejects "0.25"; the
+    // writer/parser must be locale-independent.
+    const char *prev = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+    if (prev == nullptr)
+        GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject()
+        .key("ratio").value(0.25)
+        .key("big").value(1.5e6)
+        .key("neg").value(-3.75)
+        .endObject();
+    const std::string doc = os.str();
+    EXPECT_EQ(doc, "{\"ratio\":0.25,\"big\":1500000,\"neg\":-3.75}");
+
+    const JsonValue v = parseJson(doc);
+    EXPECT_DOUBLE_EQ(v.at("ratio").number, 0.25);
+    EXPECT_DOUBLE_EQ(v.at("big").number, 1.5e6);
+    EXPECT_DOUBLE_EQ(v.at("neg").number, -3.75);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e3").number, -1500.0);
+
+    std::setlocale(LC_NUMERIC, "C");
 }
 
 TEST(JsonValueTest, FindAndAt)

@@ -67,6 +67,35 @@ TEST(ProgressTest, FinishIsIdempotent)
     EXPECT_EQ(p.done(), 2u);
 }
 
+TEST(ProgressTest, NothingPaintsAfterTheFinalNewline)
+{
+    // Late worker ticks racing finish() must never repaint after the
+    // final line's newline — that smears a half-line into whatever
+    // the tool prints next.  The final paint latches; everything a
+    // racing tick would paint is dropped.
+    testing::internal::CaptureStderr();
+    {
+        ProgressReporter p("race", 4 * 2000, /*enabled=*/true,
+                           /*interval_ms=*/1);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 4; ++t) {
+            threads.emplace_back([&p]() {
+                for (int i = 0; i < 2000; ++i)
+                    p.tick();
+            });
+        }
+        // Cut the reporter off while workers are mid-flight.
+        p.finish();
+        for (auto &t : threads)
+            t.join();
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+    ASSERT_FALSE(err.empty());
+    EXPECT_EQ(err.back(), '\n');
+    // Exactly one newline: the final line's.
+    EXPECT_EQ(err.find('\n'), err.size() - 1);
+}
+
 TEST(ProgressTest, ZeroTotalDoesNotDivide)
 {
     ProgressReporter p("empty", 0, /*enabled=*/false);
