@@ -1,0 +1,97 @@
+#include "findings.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace analysis {
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+    }
+    panic("unreachable severity %d", static_cast<int>(s));
+}
+
+std::string
+Finding::render() const
+{
+    if (file.empty())
+        return strprintf("%s: [%s] %s", severityName(severity).c_str(),
+                         rule.c_str(), message.c_str());
+    return strprintf("%s:%d: %s: [%s] %s", file.c_str(), line,
+                     severityName(severity).c_str(), rule.c_str(),
+                     message.c_str());
+}
+
+void
+Report::add(Finding f)
+{
+    findings_.push_back(std::move(f));
+    sorted_ = false;
+}
+
+void
+Report::noteSuppressed(const std::string &rule)
+{
+    ++suppressed_[rule];
+}
+
+const std::vector<Finding> &
+Report::findings() const
+{
+    if (!sorted_) {
+        std::stable_sort(findings_.begin(), findings_.end(),
+                         [](const Finding &a, const Finding &b) {
+                             return std::tie(a.file, a.line, a.rule) <
+                                    std::tie(b.file, b.line, b.rule);
+                         });
+        sorted_ = true;
+    }
+    return findings_;
+}
+
+size_t
+Report::errorCount() const
+{
+    return std::count_if(findings_.begin(), findings_.end(),
+                         [](const Finding &f) {
+                             return f.severity == Severity::Error;
+                         });
+}
+
+size_t
+Report::warningCount() const
+{
+    return findings_.size() - errorCount();
+}
+
+size_t
+Report::suppressedCount() const
+{
+    size_t n = 0;
+    for (const auto &[rule, count] : suppressed_)
+        n += count;
+    return n;
+}
+
+std::string
+Report::render() const
+{
+    std::string out;
+    for (const auto &f : findings()) {
+        out += f.render();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace analysis
+} // namespace gpuscale

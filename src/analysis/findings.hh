@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Findings and report model for gpuscale-lint.
+ *
+ * Rules emit Findings into a Report; the driver renders the report
+ * as compiler-style "file:line: severity: [rule] message" lines and
+ * turns the error count into the process exit status.  Suppressed
+ * findings are counted (so a silent tree still tells you the rules
+ * ran) but carry no location.
+ */
+
+#ifndef GPUSCALE_ANALYSIS_FINDINGS_HH
+#define GPUSCALE_ANALYSIS_FINDINGS_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpuscale {
+namespace analysis {
+
+enum class Severity {
+    Error,
+    Warning,
+};
+
+/** Human-readable severity name ("error" / "warning"). */
+std::string severityName(Severity s);
+
+/** One rule violation at one source location. */
+struct Finding {
+    std::string rule;
+    Severity severity = Severity::Error;
+    std::string file; ///< repo-relative path ("" for repo-wide)
+    int line = 0;     ///< 1-based; 0 for repo-wide findings
+    std::string message;
+
+    /** The rendered "file:line: severity: [rule] message" form. */
+    std::string render() const;
+};
+
+/** Accumulates findings across all rules of one lint run. */
+class Report
+{
+  public:
+    void add(Finding f);
+
+    /** Record that a finding was silenced by an allow() comment. */
+    void noteSuppressed(const std::string &rule);
+
+    /** Findings sorted by (file, line, rule). */
+    const std::vector<Finding> &findings() const;
+
+    size_t errorCount() const;
+    size_t warningCount() const;
+    size_t suppressedCount() const;
+
+    /** Per-rule suppression counts, for the summary line. */
+    const std::map<std::string, size_t> &suppressedByRule() const
+    {
+        return suppressed_;
+    }
+
+    /** All findings rendered one per line (empty string if clean). */
+    std::string render() const;
+
+  private:
+    mutable std::vector<Finding> findings_;
+    mutable bool sorted_ = true;
+    std::map<std::string, size_t> suppressed_;
+};
+
+} // namespace analysis
+} // namespace gpuscale
+
+#endif // GPUSCALE_ANALYSIS_FINDINGS_HH

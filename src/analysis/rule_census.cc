@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Census-conformance rule: the paper's workload census (267 kernels
+ * from 97 programs — Majumdar et al., IISWC 2015, Table 1) is
+ * re-derived *statically* from the suite sources, without running
+ * the registry.  A `Program(...)` construction registers a program
+ * and each chained `.add(...)` registers one kernel, so counting
+ * those tokens across src/workloads/suite_*.cc gives the ground
+ * truth the binary will exhibit.
+ *
+ * Two layers of checking:
+ *  - each suite file's doc header advertises "<N> programs,
+ *    <M> kernels" and must match that file's actual registrations;
+ *  - the totals across all suite files must match the paper.
+ */
+
+#include <cctype>
+#include <string>
+
+#include "analysis/rules.hh"
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace analysis {
+
+namespace {
+
+bool
+isSuiteFile(const std::string &path)
+{
+    return path.rfind("src/workloads/suite_", 0) == 0 &&
+           path.size() >= 3 &&
+           path.compare(path.size() - 3, 3, ".cc") == 0;
+}
+
+/** Registration counts for one suite translation unit. */
+struct SuiteCounts {
+    size_t programs = 0;
+    size_t kernels = 0;
+};
+
+SuiteCounts
+countRegistrations(const SourceFile &file)
+{
+    SuiteCounts c;
+    for (size_t off : findTokens(file, "Program")) {
+        const size_t after = off + std::string("Program").size();
+        if (after < file.code().size() && file.code()[after] == '(')
+            ++c.programs;
+    }
+    const std::string &code = file.code();
+    size_t pos = 0;
+    while ((pos = code.find(".add(", pos)) != std::string::npos) {
+        ++c.kernels;
+        pos += 1;
+    }
+    return c;
+}
+
+/**
+ * Parse "<N> programs, <M> kernels" from the file's doc header;
+ * returns false if the header makes no such claim.
+ */
+bool
+parseHeaderClaim(const SourceFile &file, SuiteCounts &claim)
+{
+    const std::string &raw = file.raw();
+    static const std::string kProg = " programs, ";
+    const size_t p = raw.find(kProg);
+    if (p == std::string::npos)
+        return false;
+
+    // Digits immediately before " programs, ".
+    size_t ds = p;
+    while (ds > 0 &&
+           std::isdigit(static_cast<unsigned char>(raw[ds - 1])))
+        --ds;
+    if (ds == p)
+        return false;
+    claim.programs = std::stoul(raw.substr(ds, p - ds));
+
+    // Digits immediately after ", ", before " kernels".
+    size_t ke = p + kProg.size();
+    size_t ks = ke;
+    while (ke < raw.size() &&
+           std::isdigit(static_cast<unsigned char>(raw[ke])))
+        ++ke;
+    if (ke == ks || raw.compare(ke, 8, " kernels") != 0)
+        return false;
+    claim.kernels = std::stoul(raw.substr(ks, ke - ks));
+    return true;
+}
+
+class CensusRule : public Rule
+{
+  public:
+    std::string name() const override { return "census"; }
+
+    std::string
+    description() const override
+    {
+        return "suite sources register exactly the paper's 267 "
+               "kernels across 97 programs";
+    }
+
+    void
+    run(const SourceRepo &repo, const LintOptions &opts,
+        Report &report) const override
+    {
+        SuiteCounts total;
+        size_t suite_files = 0;
+        const SourceFile *anchor = nullptr;
+
+        for (const auto &file : repo.files) {
+            if (!isSuiteFile(file.path()))
+                continue;
+            ++suite_files;
+            anchor = &file;
+
+            const SuiteCounts c = countRegistrations(file);
+            total.programs += c.programs;
+            total.kernels += c.kernels;
+
+            if (c.programs == 0) {
+                emit(file, 1, Severity::Error,
+                     "suite file registers no programs",
+                     report);
+            }
+
+            SuiteCounts claim;
+            if (!parseHeaderClaim(file, claim)) {
+                emit(file, 1, Severity::Error,
+                     "suite header must advertise \"<N> programs, "
+                     "<M> kernels\" so readers can trust the file "
+                     "without counting",
+                     report);
+            } else if (claim.programs != c.programs ||
+                       claim.kernels != c.kernels) {
+                emit(file, 1, Severity::Error,
+                     strprintf("suite header claims %zu programs / "
+                               "%zu kernels but the file registers "
+                               "%zu / %zu",
+                               claim.programs, claim.kernels,
+                               c.programs, c.kernels),
+                     report);
+            }
+        }
+
+        if (suite_files == 0) {
+            report.add(Finding{name(), Severity::Error, "", 0,
+                               "no src/workloads/suite_*.cc files "
+                               "found; the census cannot be "
+                               "derived"});
+            return;
+        }
+
+        if (total.kernels != opts.census.kernels ||
+            total.programs != opts.census.programs) {
+            emit(*anchor, 1, Severity::Error,
+                 strprintf("census drift: suite sources register "
+                           "%zu kernels across %zu programs, but "
+                           "the paper requires %zu kernels / %zu "
+                           "programs",
+                           total.kernels, total.programs,
+                           opts.census.kernels,
+                           opts.census.programs),
+                 report);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Rule>
+makeCensusRule()
+{
+    return std::make_unique<CensusRule>();
+}
+
+} // namespace analysis
+} // namespace gpuscale

@@ -1,0 +1,331 @@
+#include "source_repo.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace analysis {
+
+SourceFile::SourceFile(std::string rel_path, std::string raw)
+    : path_(std::move(rel_path)), raw_(std::move(raw))
+{
+    scan();
+}
+
+namespace {
+
+/** True for characters that may appear in a lint rule name. */
+bool
+isRuleChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '_';
+}
+
+} // namespace
+
+void
+SourceFile::recordSuppression(const std::string &comment,
+                              int first_line, int last_line)
+{
+    static const std::string kMarker = "gpuscale-lint: allow(";
+    size_t pos = comment.find(kMarker);
+    if (pos == std::string::npos)
+        return;
+    pos += kMarker.size();
+    const size_t close = comment.find(')', pos);
+    if (close == std::string::npos)
+        return;
+
+    std::set<std::string> rules;
+    std::string cur;
+    for (size_t i = pos; i <= close; ++i) {
+        const char c = comment[i];
+        if (i < close && isRuleChar(c)) {
+            cur += c;
+        } else if (!cur.empty()) {
+            rules.insert(cur);
+            cur.clear();
+        }
+    }
+    // The comment's own lines plus the one after it, so the marker
+    // works both trailing a statement and on its own line above one.
+    for (int line = first_line; line <= last_line + 1; ++line)
+        suppressions_[line].insert(rules.begin(), rules.end());
+}
+
+void
+SourceFile::appendLineComment(PendingComment &pending,
+                              const std::string &text, int line)
+{
+    // Consecutive // lines form one logical block, so an allow()
+    // marker inside a wrapped comment still covers the statement
+    // right below the block.
+    if (pending.active && line == pending.last_line + 1) {
+        pending.text += '\n';
+        pending.text += text;
+        pending.last_line = line;
+        return;
+    }
+    flushLineComments(pending);
+    pending = {true, line, line, text};
+}
+
+void
+SourceFile::flushLineComments(PendingComment &pending)
+{
+    if (!pending.active)
+        return;
+    recordSuppression(pending.text, pending.first_line,
+                      pending.last_line);
+    pending.active = false;
+}
+
+void
+SourceFile::scan()
+{
+    enum class State {
+        Normal,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+
+    code_.assign(raw_.size(), ' ');
+    line_offsets_.push_back(0);
+
+    State state = State::Normal;
+    int line = 1;
+    int comment_start_line = 1;
+    std::string comment_text;
+    PendingComment pending;
+    std::string literal_text;
+    std::string raw_delim; // raw string closing delimiter: )delim"
+    size_t literal_offset = 0;
+    int literal_line = 1;
+
+    const size_t n = raw_.size();
+    for (size_t i = 0; i < n; ++i) {
+        const char c = raw_[i];
+        const char next = i + 1 < n ? raw_[i + 1] : '\0';
+        if (c == '\n') {
+            code_[i] = '\n';
+            ++line;
+            line_offsets_.push_back(i + 1);
+        }
+
+        switch (state) {
+          case State::Normal:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                comment_start_line = line;
+                comment_text.clear();
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                comment_start_line = line;
+                comment_text.clear();
+                ++i; // consume '*' so "/*/" is not a full comment
+            } else if (c == '"') {
+                // R"delim( ... )delim" — check for a raw prefix.
+                if (i > 0 && raw_[i - 1] == 'R') {
+                    size_t p = i + 1;
+                    std::string delim;
+                    while (p < n && raw_[p] != '(' &&
+                           delim.size() < 16) {
+                        delim += raw_[p];
+                        ++p;
+                    }
+                    if (p < n && raw_[p] == '(') {
+                        state = State::RawString;
+                        raw_delim = ")" + delim + "\"";
+                        literal_offset = i;
+                        literal_line = line;
+                        literal_text.clear();
+                        code_[i] = '"';
+                        // Skip the delimiter and '('.
+                        i = p;
+                        break;
+                    }
+                }
+                state = State::String;
+                literal_offset = i;
+                literal_line = line;
+                literal_text.clear();
+                code_[i] = '"';
+            } else if (c == '\'') {
+                state = State::Char;
+                code_[i] = '\'';
+            } else if (c != '\n') {
+                code_[i] = c;
+            }
+            break;
+
+          case State::LineComment:
+            if (c == '\n') {
+                appendLineComment(pending, comment_text,
+                                  comment_start_line);
+                state = State::Normal;
+            } else {
+                comment_text += c;
+            }
+            break;
+
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                recordSuppression(comment_text, comment_start_line,
+                                  line);
+                state = State::Normal;
+                ++i;
+            } else {
+                comment_text += c;
+            }
+            break;
+
+          case State::String:
+            if (c == '\\' && i + 1 < n) {
+                literal_text += c;
+                literal_text += next;
+                ++i;
+                if (next == '\n') {
+                    ++line;
+                    line_offsets_.push_back(i + 1);
+                    code_[i] = '\n';
+                }
+            } else if (c == '"') {
+                code_[i] = '"';
+                literals_.push_back(
+                    {literal_offset, literal_line, literal_text});
+                state = State::Normal;
+            } else if (c != '\n') {
+                literal_text += c;
+            }
+            break;
+
+          case State::Char:
+            if (c == '\\' && i + 1 < n) {
+                ++i;
+            } else if (c == '\'') {
+                code_[i] = '\'';
+                state = State::Normal;
+            }
+            break;
+
+          case State::RawString:
+            if (c == ')' && raw_.compare(i, raw_delim.size(),
+                                         raw_delim) == 0) {
+                i += raw_delim.size() - 1;
+                code_[i] = '"';
+                literals_.push_back(
+                    {literal_offset, literal_line, literal_text});
+                state = State::Normal;
+            } else if (c != '\n') {
+                literal_text += c;
+            }
+            break;
+        }
+    }
+    if (state == State::LineComment)
+        appendLineComment(pending, comment_text, comment_start_line);
+    flushLineComments(pending);
+}
+
+int
+SourceFile::lineOf(size_t offset) const
+{
+    const auto it = std::upper_bound(line_offsets_.begin(),
+                                     line_offsets_.end(), offset);
+    return static_cast<int>(it - line_offsets_.begin());
+}
+
+const StringLiteral *
+SourceFile::literalAtOrAfter(size_t offset) const
+{
+    for (const auto &lit : literals_) {
+        if (lit.offset >= offset)
+            return &lit;
+    }
+    return nullptr;
+}
+
+bool
+SourceFile::suppressed(int line, const std::string &rule) const
+{
+    const auto it = suppressions_.find(line);
+    return it != suppressions_.end() && it->second.count(rule) > 0;
+}
+
+std::string
+SourceFile::layer() const
+{
+    static const std::string kPrefix = "src/";
+    if (path_.rfind(kPrefix, 0) != 0)
+        return "";
+    const size_t start = kPrefix.size();
+    const size_t slash = path_.find('/', start);
+    if (slash == std::string::npos)
+        return "";
+    return path_.substr(start, slash - start);
+}
+
+bool
+SourceFile::isHeader() const
+{
+    return path_.size() >= 3 &&
+           path_.compare(path_.size() - 3, 3, ".hh") == 0;
+}
+
+const SourceFile *
+SourceRepo::find(const std::string &rel_path) const
+{
+    for (const auto &f : files) {
+        if (f.path() == rel_path)
+            return &f;
+    }
+    return nullptr;
+}
+
+SourceRepo
+loadRepo(const std::string &root)
+{
+    namespace fs = std::filesystem;
+
+    SourceRepo repo;
+    repo.root = root;
+
+    const fs::path src = fs::path(root) / "src";
+    fatal_if(!fs::is_directory(src),
+             "gpuscale-lint: no src/ directory under %s",
+             root.c_str());
+
+    std::vector<fs::path> paths;
+    for (const auto &entry : fs::recursive_directory_iterator(src)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".cc" || ext == ".hh")
+            paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    for (const auto &p : paths) {
+        std::ifstream is(p);
+        fatal_if(!is, "gpuscale-lint: cannot read %s",
+                 p.string().c_str());
+        std::stringstream buffer;
+        buffer << is.rdbuf();
+        const std::string rel =
+            fs::relative(p, root).generic_string();
+        repo.files.emplace_back(rel, buffer.str());
+    }
+    return repo;
+}
+
+} // namespace analysis
+} // namespace gpuscale

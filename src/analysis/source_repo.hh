@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Source model for gpuscale-lint.
+ *
+ * A SourceFile owns two synchronized views of one translation unit:
+ *  - raw():  the bytes on disk, untouched.
+ *  - code(): the same bytes with comments and the *contents* of
+ *            string/character literals blanked to spaces (newlines
+ *            preserved), so rules can match tokens without tripping
+ *            over prose or quoted examples.  The literal delimiters
+ *            themselves survive, and every literal's text is kept in
+ *            a side table for rules that inspect names.
+ *
+ * Offsets are shared between the views, so a match found in code()
+ * can be mapped to a line number or to the nearest string literal.
+ *
+ * Suppressions: a comment of the form
+ *
+ *     // gpuscale-lint: allow(rule-a, rule-b): why this is fine
+ *
+ * disables the named rules on the comment's own line and on the line
+ * after it (covering both trailing and standalone placement).
+ */
+
+#ifndef GPUSCALE_ANALYSIS_SOURCE_REPO_HH
+#define GPUSCALE_ANALYSIS_SOURCE_REPO_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gpuscale {
+namespace analysis {
+
+/** One string literal found while scanning; text excludes quotes. */
+struct StringLiteral {
+    size_t offset;    ///< offset of the opening quote in code()/raw()
+    int line;         ///< 1-based line of the opening quote
+    std::string text; ///< contents, escapes left unprocessed
+};
+
+/** One source file with its comment-stripped companion view. */
+class SourceFile
+{
+  public:
+    /**
+     * @param rel_path repo-relative path with '/' separators
+     *                 (e.g. "src/base/csv.cc").
+     * @param raw      full file contents.
+     */
+    SourceFile(std::string rel_path, std::string raw);
+
+    const std::string &path() const { return path_; }
+    const std::string &raw() const { return raw_; }
+    const std::string &code() const { return code_; }
+
+    /** 1-based line containing the given offset. */
+    int lineOf(size_t offset) const;
+
+    /** All string literals in file order. */
+    const std::vector<StringLiteral> &literals() const
+    {
+        return literals_;
+    }
+
+    /**
+     * The first string literal whose opening quote sits at or after
+     * the given offset, or nullptr if none.
+     */
+    const StringLiteral *literalAtOrAfter(size_t offset) const;
+
+    /** True if a gpuscale-lint: allow(...) covers rule on this line. */
+    bool suppressed(int line, const std::string &rule) const;
+
+    /**
+     * Layer directory under src/ ("base", "gpu", ...; "gpu" also for
+     * src/gpu/timing/...), or "" if the file is not under src/.
+     */
+    std::string layer() const;
+
+    bool isHeader() const;
+
+  private:
+    void scan();
+    void recordSuppression(const std::string &comment, int first_line,
+                           int last_line);
+
+    /** Pending run of consecutive // lines, merged into one block. */
+    struct PendingComment {
+        bool active = false;
+        int first_line = 0;
+        int last_line = 0;
+        std::string text;
+    };
+
+    void appendLineComment(PendingComment &pending,
+                           const std::string &text, int line);
+    void flushLineComments(PendingComment &pending);
+
+    std::string path_;
+    std::string raw_;
+    std::string code_;
+    std::vector<size_t> line_offsets_;
+    std::vector<StringLiteral> literals_;
+    /** line -> rules allowed on that line. */
+    std::map<int, std::set<std::string>> suppressions_;
+};
+
+/** Every scanned file of one repository checkout. */
+struct SourceRepo {
+    std::string root;              ///< absolute repo root
+    std::vector<SourceFile> files; ///< sorted by path
+
+    /** Find by repo-relative path; nullptr if absent. */
+    const SourceFile *find(const std::string &rel_path) const;
+};
+
+/**
+ * Load every .cc/.hh file under root/src into a SourceRepo.
+ *
+ * @param root repository root directory (must contain src/).
+ */
+SourceRepo loadRepo(const std::string &root);
+
+} // namespace analysis
+} // namespace gpuscale
+
+#endif // GPUSCALE_ANALYSIS_SOURCE_REPO_HH

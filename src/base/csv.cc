@@ -25,7 +25,9 @@ CsvWriter::cell(std::string_view value)
 CsvWriter &
 CsvWriter::cell(double value)
 {
-    current_.emplace_back(strprintf("%.17g", value));
+    // Shortest round-trip via to_chars: exact under from_chars and
+    // immune to the global locale's decimal separator.
+    current_.emplace_back(formatDoubleShortest(value));
     return *this;
 }
 

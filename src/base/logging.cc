@@ -22,6 +22,9 @@ namespace {
  * Serializes sink installation and message emission: parallelFor
  * workers may warn() while a test thread swaps the sink.
  */
+// gpuscale-lint: allow(concurrency): the sink mutex IS the logging
+// thread-safety contract; routing it through the pool would invert
+// the base -> harness layering.
 std::mutex g_log_mu;
 LogSink g_sink = nullptr;
 std::atomic<bool> g_throw_on_terminate{false};

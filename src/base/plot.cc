@@ -152,8 +152,8 @@ BarChart::render() const
             std::lround(b.value / max_value *
                         static_cast<double>(bar_width_)));
         out += "  " + padRight(b.label, label_width) + " |" +
-               std::string(len, '#') +
-               strprintf(" %.6g\n", b.value);
+               std::string(len, '#') + " " +
+               formatDoubleGeneral(b.value, 6) + "\n";
     }
     return out;
 }
@@ -208,8 +208,10 @@ Heatmap::render() const
         }
         out += "\n";
     }
-    out += strprintf("  scale: '%c' = %.4g .. '%c' = %.4g\n",
-                     kRamp[0], mn, kRamp[ramp_levels], mx);
+    out += strprintf("  scale: '%c' = %s .. '%c' = %s\n", kRamp[0],
+                     formatDoubleGeneral(mn, 4).c_str(),
+                     kRamp[ramp_levels],
+                     formatDoubleGeneral(mx, 4).c_str());
     return out;
 }
 

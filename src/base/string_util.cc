@@ -6,6 +6,7 @@
 #include "string_util.hh"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -92,6 +93,55 @@ formatSi(double v, int decimals)
         }
     }
     return strprintf("%.*f", decimals, v);
+}
+
+namespace {
+
+/** Shared to_chars driver; fmt/precision as in std::to_chars. */
+template <typename... Spec>
+std::string
+toCharsString(double v, Spec... spec)
+{
+    // Worst case for shortest round-trip is well under 32 chars;
+    // general format with clamped precision fits too.
+    char buf[64];
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), v, spec...);
+    panic_if(res.ec != std::errc(),
+             "to_chars failed for a finite-sized buffer");
+    return std::string(buf, res.ptr);
+}
+
+} // namespace
+
+std::string
+formatDoubleShortest(double v)
+{
+    return toCharsString(v);
+}
+
+std::string
+formatDoubleGeneral(double v, int sig_digits)
+{
+    panic_if(sig_digits < 1 || sig_digits > 17,
+             "formatDoubleGeneral: %d significant digits out of "
+             "[1, 17]",
+             sig_digits);
+    return toCharsString(v, std::chars_format::general, sig_digits);
+}
+
+std::optional<double>
+parseDouble(std::string_view s)
+{
+    const std::string_view t = trim(s);
+    if (t.empty())
+        return std::nullopt;
+    double v = 0.0;
+    const auto res =
+        std::from_chars(t.data(), t.data() + t.size(), v);
+    if (res.ec != std::errc() || res.ptr != t.data() + t.size())
+        return std::nullopt;
+    return v;
 }
 
 bool

@@ -6,6 +6,7 @@
 #ifndef GPUSCALE_BASE_STRING_UTIL_HH
 #define GPUSCALE_BASE_STRING_UTIL_HH
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,29 @@ std::string formatDouble(double v, int decimals = 3);
  * where raw magnitudes would be unreadable.
  */
 std::string formatSi(double v, int decimals = 2);
+
+/**
+ * Locale-independent shortest round-trip rendering of a double
+ * (std::to_chars): "0.05" stays "0.05" in every locale, and parsing
+ * the result with parseDouble() returns the exact same value.  Use
+ * this — never %g/%e — for anything serialized (CSV, JSON,
+ * manifests).
+ */
+std::string formatDoubleShortest(double v);
+
+/**
+ * Locale-independent %.*g equivalent (std::to_chars, general
+ * format): at most sig_digits significant digits.  For human-facing
+ * tables and charts where shortest-round-trip is too noisy.
+ */
+std::string formatDoubleGeneral(double v, int sig_digits);
+
+/**
+ * Locale-independent double parse (std::from_chars).  Leading and
+ * trailing ASCII whitespace is tolerated; anything else unconsumed
+ * makes the parse fail.  Returns nullopt on failure.
+ */
+std::optional<double> parseDouble(std::string_view s);
 
 /** True if s starts with the given prefix. */
 bool startsWith(std::string_view s, std::string_view prefix);

@@ -82,7 +82,7 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
     // behind — and deadlock with — its own enclosing call.
     if (workers <= 1 || ThreadPool::onWorkerThread()) {
         metrics.workers_gauge.set(1.0);
-        GPUSCALE_TRACE_SCOPE("parallelFor.serial");
+        GPUSCALE_TRACE_SCOPE("parallel_for.serial");
         for (size_t i = 0; i < n; ++i)
             fn(i);
         metrics.imbalance.set(1.0);

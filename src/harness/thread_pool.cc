@@ -72,7 +72,7 @@ ThreadPool::spawned() const
 void
 ThreadPool::runSlot(Task &task, unsigned slot)
 {
-    GPUSCALE_TRACE_SCOPE("parallelFor.worker");
+    GPUSCALE_TRACE_SCOPE("parallel_for.worker");
     uint64_t done = 0;
     while (!task.failed.load(std::memory_order_relaxed)) {
         const size_t begin =

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/string_util.hh"
 #include "json.hh"
 
 namespace gpuscale {
@@ -291,10 +292,15 @@ Registry::snapshotTable() const
         t.beginRow();
         t.cell(name);
         t.cell("histogram");
-        t.cell(strprintf("n=%llu mean=%.3g p50=%.3g p90=%.3g p99=%.3g",
+        t.cell(strprintf("n=%llu mean=%s p50=%s p90=%s p99=%s",
                          static_cast<unsigned long long>(h.count()),
-                         h.mean(), h.percentile(50), h.percentile(90),
-                         h.percentile(99)));
+                         formatDoubleGeneral(h.mean(), 3).c_str(),
+                         formatDoubleGeneral(h.percentile(50),
+                                             3).c_str(),
+                         formatDoubleGeneral(h.percentile(90),
+                                             3).c_str(),
+                         formatDoubleGeneral(h.percentile(99),
+                                             3).c_str()));
         t.cell(entry.desc);
     }
     return t;

@@ -197,6 +197,8 @@ class Registry
         std::unique_ptr<T> instrument;
     };
 
+    // gpuscale-lint: allow(concurrency): guards instrument
+    // registration only; hot-path updates are lock-free atomics.
     mutable std::mutex mu_;
     std::map<std::string, Entry<Counter>> counters_;
     std::map<std::string, Entry<Gauge>> gauges_;

@@ -37,13 +37,17 @@ struct TraceEvent {
  * alive in the global list until they are drained.
  */
 struct ThreadBuffer {
+    // gpuscale-lint: allow(concurrency): per-thread span buffer;
+    // contended only when stop() drains a still-recording thread.
     std::mutex mu;
     std::vector<TraceEvent> events;
     uint32_t tid;
 };
 
 struct TraceState {
-    std::mutex mu; ///< guards path, buffer list, and tid allocation
+    // gpuscale-lint: allow(concurrency): guards path, buffer list,
+    // and tid allocation — session control, never the record path.
+    std::mutex mu;
     std::string path;
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     uint32_t next_tid = 1;

@@ -162,13 +162,22 @@ readSurfacesCsv(std::string_view text, gpu::GpuConfig base)
     const size_t col_mem = doc.columnIndex("mem_mhz");
     const size_t col_rt = doc.columnIndex("runtime_s");
 
+    // Locale-independent field parse; atof would read "1,5" as 1
+    // under e.g. de_DE and silently bend the whole grid.
+    auto csvDouble = [](const std::string &field) {
+        const auto v = parseDouble(field);
+        fatal_if(!v, "surface CSV: malformed number '%s'",
+                 field.c_str());
+        return *v;
+    };
+
     // Infer the grid axes from the distinct knob values.
     std::set<int> cu_set;
     std::set<double> core_set, mem_set;
     for (const auto &row : doc.rows) {
         cu_set.insert(std::atoi(row[col_cus].c_str()));
-        core_set.insert(std::atof(row[col_core].c_str()));
-        mem_set.insert(std::atof(row[col_mem].c_str()));
+        core_set.insert(csvDouble(row[col_core]));
+        mem_set.insert(csvDouble(row[col_mem]));
     }
     const ConfigSpace space(
         std::vector<int>(cu_set.begin(), cu_set.end()),
@@ -199,14 +208,14 @@ readSurfacesCsv(std::string_view text, gpu::GpuConfig base)
         const size_t flat = space.flatten(
             axisIndex(space.cuValues(),
                       std::atoi(row[col_cus].c_str()), "cus"),
-            axisIndex(space.coreClks(),
-                      std::atof(row[col_core].c_str()), "core_mhz"),
-            axisIndex(space.memClks(),
-                      std::atof(row[col_mem].c_str()), "mem_mhz"));
+            axisIndex(space.coreClks(), csvDouble(row[col_core]),
+                      "core_mhz"),
+            axisIndex(space.memClks(), csvDouble(row[col_mem]),
+                      "mem_mhz"));
         fatal_if(it->second[flat] != 0.0,
                  "surface CSV: duplicate sample for %s at %zu",
                  kernel.c_str(), flat);
-        it->second[flat] = std::atof(row[col_rt].c_str());
+        it->second[flat] = csvDouble(row[col_rt]);
         ++filled[kernel];
     }
 

@@ -40,6 +40,7 @@
 #include "base/logging.hh"
 #include "base/math_util.hh"
 #include "base/plot.hh"
+#include "base/string_util.hh"
 #include "gpu/analytic_model.hh"
 #include "harness/experiment.hh"
 #include "harness/noise.hh"
@@ -110,7 +111,7 @@ runCensusCmd(double sigma, const CliOptions &opts,
     manifest.argv = argv_record;
     if (sigma > 0) {
         manifest.seed = noisy.seed();
-        manifest.extra["noise_sigma"] = strprintf("%g", sigma);
+        manifest.extra["noise_sigma"] = formatDoubleShortest(sigma);
     }
     manifest.extra["report"] = report_path;
     timer.finalize(manifest);
@@ -260,9 +261,22 @@ main(int argc, char **argv)
     const std::string cmd = args[0];
     int rc;
     if (cmd == "census") {
-        rc = runCensusCmd(args.size() > 1 ? std::atof(args[1].c_str())
-                                          : 0.0,
-                          opts, argv_record);
+        double sigma = 0.0;
+        if (args.size() > 1) {
+            // from_chars, not atof: "0,05" or "abc" must be a usage
+            // error, not a silent sigma of 0 in every manifest.
+            const auto parsed = parseDouble(args[1]);
+            if (!parsed || *parsed < 0) {
+                std::fprintf(stderr,
+                             "census: sigma '%s' is not a "
+                             "non-negative number\n",
+                             args[1].c_str());
+                usage();
+                return kExitBadArguments;
+            }
+            sigma = *parsed;
+        }
+        rc = runCensusCmd(sigma, opts, argv_record);
     } else if (cmd == "classify") {
         if (args.size() < 2) {
             std::fprintf(stderr, "classify needs a CSV path\n");

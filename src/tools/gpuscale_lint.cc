@@ -1,0 +1,143 @@
+/**
+ * @file
+ * gpuscale-lint — static analyzer for the gpuscale tree itself.
+ *
+ * Scans every .cc/.hh under the repo root's src/ and enforces the
+ * invariants described in docs/static_analysis.md: layering,
+ * concurrency hygiene, locale safety, telemetry naming, and census
+ * conformance.
+ *
+ * Usage:
+ *   gpuscale-lint [--root=DIR] [--rule=NAME ...] [--list-rules]
+ *
+ *   --root=DIR   repository root; defaults to the nearest ancestor
+ *                of the current directory containing src/workloads.
+ *   --rule=NAME  run only the named rule (repeatable).
+ *   --list-rules print every rule with its summary and exit.
+ *
+ * Exit codes mirror the gpuscale CLI: 0 clean, 1 findings,
+ * 3 bad arguments.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.hh"
+#include "base/logging.hh"
+
+namespace {
+
+using namespace gpuscale;
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitBadArguments = 3;
+
+/**
+ * Walk upward from the current directory to the first ancestor that
+ * looks like a gpuscale checkout; empty string if none does.
+ */
+std::string
+discoverRoot()
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::current_path();
+    while (true) {
+        if (fs::is_directory(dir / "src" / "workloads"))
+            return dir.string();
+        if (dir == dir.parent_path())
+            return "";
+        dir = dir.parent_path();
+    }
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: gpuscale-lint [--root=DIR] [--rule=NAME ...]\n"
+        "                     [--list-rules]\n"
+        "exit codes: 0 clean, 1 findings, 3 bad arguments\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root;
+    std::vector<std::string> only_rules;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--root=", 0) == 0) {
+            root = arg.substr(7);
+        } else if (arg.rfind("--rule=", 0) == 0) {
+            only_rules.push_back(arg.substr(7));
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            usage();
+            return kExitBadArguments;
+        }
+    }
+
+    const auto rules = analysis::allRules();
+
+    if (list_rules) {
+        for (const auto &rule : rules)
+            std::printf("%-12s %s\n", rule->name().c_str(),
+                        rule->description().c_str());
+        return kExitClean;
+    }
+
+    for (const auto &wanted : only_rules) {
+        bool known = false;
+        for (const auto &rule : rules)
+            known = known || rule->name() == wanted;
+        if (!known) {
+            std::fprintf(stderr, "unknown rule '%s'\n",
+                         wanted.c_str());
+            usage();
+            return kExitBadArguments;
+        }
+    }
+
+    if (root.empty())
+        root = discoverRoot();
+    if (root.empty()) {
+        std::fprintf(stderr,
+                     "cannot find a gpuscale checkout above the "
+                     "current directory; pass --root=DIR\n");
+        usage();
+        return kExitBadArguments;
+    }
+
+    const analysis::SourceRepo repo = analysis::loadRepo(root);
+    const analysis::LintOptions opts;
+    analysis::Report report;
+
+    for (const auto &rule : rules) {
+        if (!only_rules.empty()) {
+            bool wanted = false;
+            for (const auto &name : only_rules)
+                wanted = wanted || name == rule->name();
+            if (!wanted)
+                continue;
+        }
+        rule->run(repo, opts, report);
+    }
+
+    std::fputs(report.render().c_str(), stdout);
+    std::printf("gpuscale-lint: %zu files, %zu errors, %zu warnings"
+                ", %zu suppressed\n",
+                repo.files.size(), report.errorCount(),
+                report.warningCount(), report.suppressedCount());
+    return report.findings().empty() ? kExitClean : kExitFindings;
+}

@@ -88,7 +88,7 @@ TEST(ParallelForTest, EachWorkerEmitsASpan)
     std::set<double> tids;
     for (const auto &ev : doc.at("traceEvents").array) {
         if (ev.at("ph").str == "X" &&
-            ev.at("name").str == "parallelFor.worker") {
+            ev.at("name").str == "parallel_for.worker") {
             ++worker_spans;
             tids.insert(ev.at("tid").number);
         }

@@ -287,7 +287,7 @@ TEST(EndToEndTest, SweepEmitsRequiredTelemetry)
         const std::string &name = ev.at("name").str;
         if (name.rfind("sweep/", 0) == 0)
             ++kernel_spans;
-        if (name.rfind("parallelFor.", 0) == 0)
+        if (name.rfind("parallel_for.", 0) == 0)
             ++worker_spans;
     }
     // One span per swept kernel, and at least one per worker thread
