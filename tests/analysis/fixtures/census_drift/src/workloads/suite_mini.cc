@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Fixture suite: 2 programs, 4 kernels.
+ *
+ * The header claims one kernel more than the file registers, so both
+ * the per-file claim check and the repo total drift check fire.
+ */
+
+void
+makeMiniSuite()
+{
+    auto a = Program("mini", "alpha")
+        .add(streaming("k1"))
+        .add(streaming("k2"));
+    auto b = Program("mini", "beta")
+        .add(reduction("k3"));
+}

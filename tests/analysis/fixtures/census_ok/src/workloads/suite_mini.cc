@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Fixture suite: 2 programs, 3 kernels.
+ */
+
+void
+makeMiniSuite()
+{
+    // The census rule counts Program( constructions and .add( calls.
+    auto a = Program("mini", "alpha")
+        .add(streaming("k1"))
+        .add(streaming("k2"));
+    auto b = Program("mini", "beta")
+        .add(reduction("k3"));
+}

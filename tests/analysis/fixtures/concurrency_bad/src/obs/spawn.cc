@@ -1,0 +1,26 @@
+/** Fixture: every concurrency sin outside the harness pool. */
+#include <mutex>
+#include <thread>
+
+std::mutex g_mu;
+
+void
+spawnWorker()
+{
+    std::thread worker([] {});
+    worker.detach();
+}
+
+unsigned
+okQuery()
+{
+    // A capacity query, not a spawn: must NOT be flagged.
+    return std::thread::hardware_concurrency();
+}
+
+void
+okUse()
+{
+    // Using a mutex via a guard is fine; declaring one is not.
+    std::lock_guard<std::mutex> lock(g_mu);
+}

@@ -1,0 +1,8 @@
+/** Fixture: a documented, suppressed mutex produces no finding. */
+#include <mutex>
+
+// gpuscale-lint: allow(concurrency): fixture exercising the
+// suppression syntax across a wrapped comment block.
+std::mutex g_guarded_mu;
+
+std::mutex g_trailing_mu; // gpuscale-lint: allow(concurrency): same line

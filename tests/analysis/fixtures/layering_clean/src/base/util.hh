@@ -1,0 +1,5 @@
+/** Fixture: a base-layer header with no dependencies. */
+#ifndef FIXTURE_BASE_UTIL_HH
+#define FIXTURE_BASE_UTIL_HH
+int answer();
+#endif

@@ -1,0 +1,3 @@
+/** Fixture: local include resolves next to the includer. */
+#include "model.hh"
+int estimate() { return answer(); }

@@ -1,0 +1,6 @@
+/** Fixture: gpu may include base — downward is fine. */
+#ifndef FIXTURE_GPU_MODEL_HH
+#define FIXTURE_GPU_MODEL_HH
+#include "base/util.hh"
+int estimate();
+#endif

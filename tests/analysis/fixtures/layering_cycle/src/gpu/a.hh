@@ -1,0 +1,3 @@
+/** Fixture: half of an include cycle. */
+#include "b.hh"
+struct A { B *b; };

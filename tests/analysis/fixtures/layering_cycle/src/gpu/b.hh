@@ -1,0 +1,3 @@
+/** Fixture: the other half of the include cycle. */
+#include "a.hh"
+struct B { A *a; };

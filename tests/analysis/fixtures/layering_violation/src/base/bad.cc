@@ -1,0 +1,3 @@
+/** Fixture: base reaching up into harness breaks the layer order. */
+#include "harness/sweep.hh"
+void helper() { sweep(); }

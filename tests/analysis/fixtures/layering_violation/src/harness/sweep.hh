@@ -1,0 +1,5 @@
+/** Fixture: a harness-layer header for base to (wrongly) include. */
+#ifndef FIXTURE_HARNESS_SWEEP_HH
+#define FIXTURE_HARNESS_SWEEP_HH
+void sweep();
+#endif

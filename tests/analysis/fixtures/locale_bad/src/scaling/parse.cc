@@ -1,0 +1,32 @@
+/** Fixture: locale-dependent parsing and formatting. */
+#include <cstdlib>
+#include <string>
+
+std::string strprintf(const char *fmt, ...);
+
+double
+parseField(const std::string &field)
+{
+    return std::atof(field.c_str());
+}
+
+double
+parseOther(const char *s)
+{
+    return strtod(s, nullptr);
+}
+
+std::string
+renderSigma(double sigma)
+{
+    return strprintf("%g", sigma);
+}
+
+std::string
+okFixed(double v)
+{
+    // %f feeds a human-facing table, not a serialized file: allowed.
+    return strprintf("%.2f", v);
+}
+
+// A comment mentioning atof( and strprintf("%g") must not count.

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Census-conformance rule tests using miniature suites with known
+ * registration counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis_test_util.hh"
+
+namespace {
+
+using namespace gpuscale::analysis;
+using namespace gpuscale::analysis::test;
+
+LintOptions
+miniCensus(size_t kernels, size_t programs)
+{
+    LintOptions opts;
+    opts.census.kernels = kernels;
+    opts.census.programs = programs;
+    return opts;
+}
+
+TEST(RuleCensus, MatchingSuiteIsClean)
+{
+    const auto repo = loadFixture("census_ok");
+    const auto report =
+        runRule(*makeCensusRule(), repo, miniCensus(3, 2));
+    EXPECT_EQ(report.findings().size(), 0u) << report.render();
+}
+
+TEST(RuleCensus, HeaderClaimMismatchAndTotalDriftBothFire)
+{
+    const auto repo = loadFixture("census_drift");
+    // Expectation matches the header's (wrong) claim of 4 kernels, so
+    // both the per-file claim check and the total drift check fire.
+    const auto report =
+        runRule(*makeCensusRule(), repo, miniCensus(4, 2));
+    EXPECT_EQ(findingCount(report, "census"), 2u) << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "suite header claims"))
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "census drift"))
+        << report.render();
+}
+
+TEST(RuleCensus, DefaultExpectationRejectsTheMiniSuite)
+{
+    // With the paper's real numbers the fixture is of course way off:
+    // the drift message must carry both sides of the comparison.
+    const auto repo = loadFixture("census_ok");
+    const auto report = runRule(*makeCensusRule(), repo);
+    EXPECT_GE(findingCount(report, "census"), 1u) << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "267 kernels / 97"))
+        << report.render();
+}
+
+TEST(RuleCensus, MissingSuitesIsARepoWideError)
+{
+    // A repo with sources but no suite files cannot derive a census.
+    const auto repo = loadFixture("layering_clean");
+    const auto report = runRule(*makeCensusRule(), repo);
+    ASSERT_EQ(report.findings().size(), 1u) << report.render();
+    EXPECT_EQ(report.findings()[0].file, "");
+    EXPECT_TRUE(anyMessageContains(report, "no src/workloads"))
+        << report.render();
+}
+
+} // namespace

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Locale-safety rule tests: locale-dependent parsers and %g-family
+ * formatting are flagged; %f tables and comment mentions are not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis_test_util.hh"
+
+namespace {
+
+using namespace gpuscale::analysis;
+using namespace gpuscale::analysis::test;
+
+TEST(RuleLocale, FlagsParsersAndFloatSerializationConversions)
+{
+    const auto repo = loadFixture("locale_bad");
+    const auto report = runRule(*makeLocaleRule(), repo);
+
+    // atof(, strtod(, and the strprintf("%g") literal.  The %.2f
+    // table formatting and the atof( mention inside a comment in the
+    // same fixture must not fire.
+    EXPECT_EQ(findingCount(report, "locale"), 3u) << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "atof")) << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "strtod"))
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "%g")) << report.render();
+}
+
+} // namespace

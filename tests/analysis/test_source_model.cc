@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SourceFile scanner tests: comment stripping, literal capture,
+ * suppression parsing, and line mapping — the foundation every rule
+ * stands on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/source_repo.hh"
+
+namespace {
+
+using gpuscale::analysis::SourceFile;
+
+TEST(SourceModel, CommentsAreBlankedButLinesSurvive)
+{
+    const SourceFile f("src/base/x.cc",
+                       "int a; // std::thread in a comment\n"
+                       "/* std::mutex\n   spans lines */ int b;\n");
+    EXPECT_EQ(f.code().find("std::thread"), std::string::npos);
+    EXPECT_EQ(f.code().find("std::mutex"), std::string::npos);
+    EXPECT_NE(f.code().find("int a;"), std::string::npos);
+    EXPECT_NE(f.code().find("int b;"), std::string::npos);
+    // Offsets are stable: "int b;" sits after the two-line block
+    // comment, so it still maps to line 3.
+    EXPECT_EQ(f.lineOf(f.code().find("int b;")), 3);
+}
+
+TEST(SourceModel, LiteralContentsAreBlankedAndCaptured)
+{
+    const SourceFile f("src/base/x.cc",
+                       "const char *s = \"std::thread inside\";\n");
+    EXPECT_EQ(f.code().find("std::thread"), std::string::npos);
+    ASSERT_EQ(f.literals().size(), 1u);
+    EXPECT_EQ(f.literals()[0].text, "std::thread inside");
+    EXPECT_EQ(f.literals()[0].line, 1);
+}
+
+TEST(SourceModel, EscapedQuotesStayInsideTheLiteral)
+{
+    const SourceFile f("src/base/x.cc",
+                       "const char *s = \"a\\\"b\"; int after;\n");
+    ASSERT_EQ(f.literals().size(), 1u);
+    EXPECT_EQ(f.literals()[0].text, "a\\\"b");
+    EXPECT_NE(f.code().find("int after;"), std::string::npos);
+}
+
+TEST(SourceModel, RawStringsAreCaptured)
+{
+    const SourceFile f("src/base/x.cc",
+                       "auto s = R\"(line\")\";\nint after;\n");
+    ASSERT_EQ(f.literals().size(), 1u);
+    EXPECT_EQ(f.literals()[0].text, "line\"");
+    EXPECT_NE(f.code().find("int after;"), std::string::npos);
+}
+
+TEST(SourceModel, TrailingSuppressionCoversItsOwnLine)
+{
+    const SourceFile f(
+        "src/base/x.cc",
+        "int a; // gpuscale-lint: allow(concurrency): reason\n");
+    EXPECT_TRUE(f.suppressed(1, "concurrency"));
+    EXPECT_FALSE(f.suppressed(1, "locale"));
+}
+
+TEST(SourceModel, StandaloneSuppressionCoversTheNextLine)
+{
+    const SourceFile f(
+        "src/base/x.cc",
+        "// gpuscale-lint: allow(locale): reason\n"
+        "double d = atof(s);\n");
+    EXPECT_TRUE(f.suppressed(2, "locale"));
+}
+
+TEST(SourceModel, WrappedCommentBlockStillReachesTheNextLine)
+{
+    // The marker sits on the first line of a three-line comment; the
+    // statement below the block must still be covered.
+    const SourceFile f(
+        "src/base/x.cc",
+        "// gpuscale-lint: allow(concurrency): a long reason that\n"
+        "// wraps onto a second comment line and then\n"
+        "// a third one\n"
+        "std::mutex mu;\n");
+    EXPECT_TRUE(f.suppressed(4, "concurrency"));
+}
+
+TEST(SourceModel, MultipleRulesInOneAllow)
+{
+    const SourceFile f(
+        "src/base/x.cc",
+        "// gpuscale-lint: allow(locale, naming)\n"
+        "int x;\n");
+    EXPECT_TRUE(f.suppressed(2, "locale"));
+    EXPECT_TRUE(f.suppressed(2, "naming"));
+    EXPECT_FALSE(f.suppressed(2, "concurrency"));
+}
+
+TEST(SourceModel, LayerComesFromTheFirstDirUnderSrc)
+{
+    EXPECT_EQ(SourceFile("src/gpu/timing/resource.cc", "").layer(),
+              "gpu");
+    EXPECT_EQ(SourceFile("src/base/csv.hh", "").layer(), "base");
+    EXPECT_EQ(SourceFile("tests/base/test_csv.cc", "").layer(), "");
+}
+
+} // namespace
