@@ -12,6 +12,7 @@
 
 #include "base/table.hh"
 #include "harness/noise.hh"
+#include "harness/sweep_cache.hh"
 #include "scaling/taxonomy.hh"
 
 namespace {
@@ -24,6 +25,8 @@ BM_NoisyCensus(benchmark::State &state)
     const gpu::AnalyticModel inner;
     const harness::NoisyModel noisy(inner, 0.03, 1);
     for (auto _ : state) {
+        // Measure the compute, not a SweepCache hit.
+        harness::SweepCache::instance().clear();
         auto result = harness::runCensus(noisy);
         benchmark::DoNotOptimize(result.classifications.size());
     }

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -26,6 +27,48 @@
 
 namespace gpuscale {
 namespace bench {
+
+/** Wall-time summary of a repeated measurement. */
+struct TimingStats {
+    double min_s = 0.0;
+    double mean_s = 0.0;
+    double max_s = 0.0;
+    int runs = 0;
+};
+
+/**
+ * Time fn() `runs` times after `warmup` untimed calls and keep the
+ * minimum (plus mean/max for dispersion).  Min-of-N is the standard
+ * estimator for "how fast is this code": one-shot timings fold cold
+ * caches, page faults, and scheduler noise into the number, and every
+ * perturbation only ever makes a run *slower*, so the minimum is the
+ * cleanest observation.
+ */
+template <typename Fn>
+inline TimingStats
+minOfN(int warmup, int runs, Fn &&fn)
+{
+    fatal_if(runs < 1, "minOfN needs at least one timed run");
+    for (int i = 0; i < warmup; ++i)
+        fn();
+
+    TimingStats stats;
+    stats.runs = runs;
+    double total = 0.0;
+    for (int i = 0; i < runs; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double dt = std::chrono::duration<double>(t1 - t0).count();
+        total += dt;
+        if (i == 0 || dt < stats.min_s)
+            stats.min_s = dt;
+        if (i == 0 || dt > stats.max_s)
+            stats.max_s = dt;
+    }
+    stats.mean_s = total / runs;
+    return stats;
+}
 
 /** The full paper census, computed once per binary. */
 inline const harness::CensusResult &

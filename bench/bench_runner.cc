@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Census benchmark runner: the repo's perf gate.
+ *
+ * Times the batched, sharded census engine end to end (min-of-N with
+ * warmup), the legacy scalar single-thread walk it replaced, and a
+ * warm repeat that exercises the sweep cache, then emits
+ * BENCH_census.json so CI can archive wall time, estimates/s, thread
+ * count, and cache hit rate per commit.
+ *
+ * Usage: bench_runner [--runs=N] [--warmup=N] [--output=FILE]
+ *                     [--test-grid]
+ *
+ * --test-grid shrinks the sweep to the 27-point grid so smoke jobs
+ * stay fast; the emitted JSON records which grid ran.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/string_util.hh"
+#include "bench_common.hh"
+#include "harness/sweep.hh"
+#include "harness/sweep_cache.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace gpuscale;
+
+struct RunnerOptions {
+    int runs = 5;
+    int warmup = 1;
+    std::string output = "BENCH_census.json";
+    bool test_grid = false;
+};
+
+void
+writeTiming(obs::JsonWriter &w, const bench::TimingStats &stats,
+            double estimates)
+{
+    w.beginObject();
+    w.key("min_s").value(stats.min_s);
+    w.key("mean_s").value(stats.mean_s);
+    w.key("max_s").value(stats.max_s);
+    w.key("runs").value(stats.runs);
+    w.key("estimates_per_s")
+        .value(stats.min_s > 0 ? estimates / stats.min_s : 0.0);
+    w.endObject();
+}
+
+int
+run(const RunnerOptions &opts)
+{
+    const gpu::AnalyticModel model;
+    const auto space = opts.test_grid
+                           ? scaling::ConfigSpace::testGrid()
+                           : scaling::ConfigSpace::paperGrid();
+    const auto kernels =
+        workloads::WorkloadRegistry::instance().allKernels();
+    const double estimates =
+        static_cast<double>(kernels.size()) *
+        static_cast<double>(space.size());
+    const unsigned threads =
+        std::max<unsigned>(1u, std::thread::hardware_concurrency());
+
+    bench::banner("BENCH", "batched sharded census engine");
+    std::printf("%zu kernels x %zu configs = %.0f estimates, "
+                "%u hardware threads\n",
+                kernels.size(), space.size(), estimates, threads);
+
+    //
+    // 1. The engine under test: batched evaluateGrid + kernel shards
+    //    across the worker pool.  The cache is dropped per run so the
+    //    number is compute, not lookups.
+    //
+    const bench::TimingStats batched =
+        bench::minOfN(opts.warmup, opts.runs, [&] {
+            harness::SweepCache::instance().clear();
+            const auto surfaces =
+                harness::sweepKernels(model, kernels, space);
+            fatal_if(surfaces.size() != kernels.size(),
+                     "census produced %zu surfaces for %zu kernels",
+                     surfaces.size(), kernels.size());
+        });
+    std::printf("batched parallel census: %.4f s min-of-%d "
+                "(%.0f estimates/s)\n",
+                batched.min_s, batched.runs, estimates / batched.min_s);
+
+    //
+    // 2. The baseline it replaced: one scalar estimate() per point on
+    //    the calling thread.
+    //
+    const bench::TimingStats scalar =
+        bench::minOfN(std::min(opts.warmup, 1), opts.runs, [&] {
+            double sink = 0.0;
+            for (const auto *kernel : kernels) {
+                for (size_t i = 0; i < space.size(); ++i)
+                    sink += model.estimate(*kernel, space.at(i)).time_s;
+            }
+            fatal_if(sink <= 0, "scalar walk produced no time");
+        });
+    const double speedup =
+        batched.min_s > 0 ? scalar.min_s / batched.min_s : 0.0;
+    std::printf("scalar 1-thread census:  %.4f s min-of-%d "
+                "(%.0f estimates/s)\n",
+                scalar.min_s, scalar.runs, estimates / scalar.min_s);
+    std::printf("speedup: %.2fx\n", speedup);
+
+    //
+    // 3. Warm repeat: every sweep should be served by the cache the
+    //    last timed run populated.
+    //
+    auto &registry = obs::Registry::instance();
+    const double hits0 = static_cast<double>(
+        registry.counter("sweep.cache.hits").value());
+    const double misses0 = static_cast<double>(
+        registry.counter("sweep.cache.misses").value());
+    const auto warm = bench::minOfN(0, 1, [&] {
+        const auto surfaces =
+            harness::sweepKernels(model, kernels, space);
+        fatal_if(surfaces.empty(), "warm census produced nothing");
+    });
+    const double hits = static_cast<double>(
+        registry.counter("sweep.cache.hits").value()) - hits0;
+    const double misses = static_cast<double>(
+        registry.counter("sweep.cache.misses").value()) - misses0;
+    const double lookups = hits + misses;
+    const double hit_rate = lookups > 0 ? hits / lookups : 0.0;
+    std::printf("warm repeat: %.4f s, cache hit rate %.3f "
+                "(%.0f/%.0f)\n",
+                warm.min_s, hit_rate, hits, lookups);
+
+    std::ofstream os(opts.output);
+    fatal_if(!os, "cannot write %s", opts.output.c_str());
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema_version").value(1);
+    w.key("benchmark").value("census");
+    w.key("grid").value(opts.test_grid ? "test" : "paper");
+    w.key("kernels").value(static_cast<uint64_t>(kernels.size()));
+    w.key("configs").value(static_cast<uint64_t>(space.size()));
+    w.key("estimates_per_run").value(estimates);
+    w.key("threads").value(static_cast<uint64_t>(threads));
+    w.key("warmup").value(opts.warmup);
+    w.key("batched_parallel");
+    writeTiming(w, batched, estimates);
+    w.key("scalar_single_thread");
+    writeTiming(w, scalar, estimates);
+    w.key("speedup").value(speedup);
+    w.key("cache");
+    w.beginObject();
+    w.key("warm_run_s").value(warm.min_s);
+    w.key("hits").value(hits);
+    w.key("misses").value(misses);
+    w.key("hit_rate").value(hit_rate);
+    w.key("entries").value(static_cast<uint64_t>(
+        harness::SweepCache::instance().entries()));
+    w.endObject();
+    // Registry counters carry the engine's own telemetry: estimate
+    // counts, shard geometry, and cache traffic for the whole process.
+    w.key("metrics");
+    w.beginObject();
+    w.key("sweep.estimates.count").value(static_cast<uint64_t>(
+        registry.counter("sweep.estimates.count").value()));
+    w.key("sweep.cache.hits").value(static_cast<uint64_t>(
+        registry.counter("sweep.cache.hits").value()));
+    w.key("sweep.cache.misses").value(static_cast<uint64_t>(
+        registry.counter("sweep.cache.misses").value()));
+    w.key("census.shard.count")
+        .value(registry.gauge("census.shard.count").value());
+    w.endObject();
+    w.endObject();
+    os << '\n';
+    fatal_if(!w.complete(), "BENCH JSON incomplete");
+    inform("wrote %s", opts.output.c_str());
+
+    bench::emitInstrumentation();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunnerOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto intFlag = [&](const char *prefix,
+                           int &out) -> bool {
+            const size_t n = std::strlen(prefix);
+            if (arg.rfind(prefix, 0) != 0)
+                return false;
+            const auto parsed = parseDouble(arg.substr(n));
+            fatal_if(!parsed || *parsed < 0 ||
+                         *parsed != static_cast<int>(*parsed),
+                     "bad value in '%s'", arg.c_str());
+            out = static_cast<int>(*parsed);
+            return true;
+        };
+        if (intFlag("--runs=", opts.runs)) {
+            continue;
+        } else if (intFlag("--warmup=", opts.warmup)) {
+            continue;
+        } else if (arg.rfind("--output=", 0) == 0) {
+            opts.output = arg.substr(9);
+        } else if (arg == "--test-grid") {
+            opts.test_grid = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: bench_runner [--runs=N] [--warmup=N] "
+                "[--output=FILE] [--test-grid]\n");
+            return 1;
+        }
+    }
+    fatal_if(opts.runs < 1, "--runs must be >= 1");
+    return run(opts);
+}

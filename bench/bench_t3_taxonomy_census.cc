@@ -9,6 +9,7 @@
 
 #include "bench_common.hh"
 
+#include "harness/sweep_cache.hh"
 #include "scaling/report.hh"
 #include "workloads/registry.hh"
 
@@ -21,6 +22,8 @@ BM_FullCensus(benchmark::State &state)
 {
     const gpu::AnalyticModel model;
     for (auto _ : state) {
+        // Measure the compute, not a SweepCache hit.
+        harness::SweepCache::instance().clear();
         auto result = harness::runCensus(model);
         benchmark::DoNotOptimize(result.classifications.size());
     }
@@ -38,6 +41,7 @@ BM_SingleKernelSweep(benchmark::State &state)
         workloads::WorkloadRegistry::instance().findKernel(
             "rodinia/hotspot/calculate_temp");
     for (auto _ : state) {
+        harness::SweepCache::instance().clear();
         auto surface = harness::sweepKernel(model, *kernel, space);
         benchmark::DoNotOptimize(surface.runtimes().data());
     }

@@ -1,6 +1,15 @@
 /**
  * @file
  * Analytic model implementation.
+ *
+ * The evaluation is staged so the batched census walk can hoist work
+ * out of the inner loops (see evaluateGrid() in the header):
+ * Invariants captures everything derived from the kernel and the
+ * fixed microarchitecture alone, CuState everything that additionally
+ * depends on the compute-unit count, and parallelPhase() performs
+ * only the clock-domain arithmetic.  The scalar estimate() runs the
+ * exact same three stages per point, which is what keeps the two
+ * paths bitwise identical.
  */
 
 #include "analytic_model.hh"
@@ -9,6 +18,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/string_util.hh"
 #include "obs/metrics.hh"
 #include "cache_model.hh"
 #include "dispatch.hh"
@@ -37,25 +47,109 @@ boundResourceName(BoundResource r)
     panic("unknown bound resource %d", static_cast<int>(r));
 }
 
+/**
+ * Derived quantities that are constant across the whole grid: launch
+ * geometry, instruction mix, and byte counts depend on the kernel and
+ * the fixed microarchitecture only, never on the three swept knobs.
+ */
+struct AnalyticModel::Invariants {
+    double total_waves = 0.0;
+    double total_items = 0.0;
+    double wgs = 0.0;
+    double div_mult = 1.0;
+    int issue_cycles_per_inst = 1;
+    double compute_cycles_per_wave = 0.0;
+    double simd_cycles_total = 0.0;
+    double lds_lane_ops = 0.0;
+    double useful_bytes = 0.0;
+    double l1_bytes = 0.0;
+    double total_atomics = 0.0;
+    double chains = 0.0;
+    double barrier_cycles = 0.0;
+};
+
+/**
+ * Machine state that changes with the CU count but not with either
+ * clock: occupancy, cache behaviour (the expensive exp() calls),
+ * workgroup quantization, and dispatch.  On the paper grid this is
+ * evaluated 11 times per kernel instead of 891.
+ */
+struct AnalyticModel::CuState {
+    Occupancy occ;
+    CacheBehavior cache;
+    double imbalance = 1.0;
+    double l2_bytes = 0.0;
+    double dram_bytes = 0.0;
+    double l1_frac = 0.0;
+    double l2_frac = 0.0;
+    double dram_access_frac = 0.0;
+    double concurrency = 1.0;
+    double retry_mult = 1.0;
+    DispatchState disp;
+};
+
 AnalyticModel::AnalyticModel(AnalyticParams params)
     : params_(params)
 {
 }
 
-KernelPerf
-AnalyticModel::estimateParallelPhase(const KernelDesc &kernel,
-                                     const GpuConfig &cfg) const
+std::string
+AnalyticModel::fingerprint() const
 {
-    KernelPerf perf;
-    perf.occupancy = computeOccupancy(kernel, cfg);
-    perf.cache = computeCacheBehavior(kernel, cfg, perf.occupancy);
+    return "analytic(" +
+           formatDoubleShortest(params_.barrier_cycles_per_wave) + "," +
+           formatDoubleShortest(params_.barrier_base_cycles) + "," +
+           formatDoubleShortest(params_.atomic_retry_scale) + "," +
+           formatDoubleShortest(params_.atomic_reference_waves) + ")";
+}
 
-    const Occupancy &occ = perf.occupancy;
-    const double clk = cfg.coreClkHz();
-    const double total_waves =
-        static_cast<double>(kernel.totalWaves(cfg));
-    const double total_items =
-        static_cast<double>(kernel.totalWorkItems());
+AnalyticModel::Invariants
+AnalyticModel::computeInvariants(const KernelDesc &kernel,
+                                 const GpuConfig &arch) const
+{
+    Invariants inv;
+    inv.total_waves = static_cast<double>(kernel.totalWaves(arch));
+    inv.total_items = static_cast<double>(kernel.totalWorkItems());
+    inv.wgs = static_cast<double>(kernel.num_workgroups);
+
+    // Each wavefront instruction occupies a SIMD for
+    // wavefront_size / lanes_per_simd cycles (4 on GCN); divergence
+    // wastes issued cycles; transcendentals run at quarter rate.
+    inv.div_mult = 1.0 / (1.0 - kernel.branch_divergence);
+    inv.issue_cycles_per_inst = arch.wavefront_size / arch.lanes_per_simd;
+    inv.compute_cycles_per_wave =
+        (kernel.valu_ops + 4.0 * kernel.sfu_ops) *
+        inv.issue_cycles_per_inst * inv.div_mult;
+    inv.simd_cycles_total =
+        inv.total_waves * inv.compute_cycles_per_wave;
+
+    inv.lds_lane_ops = inv.total_items * kernel.lds_ops;
+
+    inv.useful_bytes = kernel.totalBytesRequested();
+    // Every access touches the L1 at line granularity.
+    inv.l1_bytes = inv.useful_bytes / kernel.coalescing;
+
+    inv.total_atomics = inv.total_items * kernel.atomic_ops;
+
+    const double mem_insts_per_wave =
+        kernel.mem_loads + kernel.mem_stores;
+    inv.chains = mem_insts_per_wave / kernel.mlp;
+
+    inv.barrier_cycles =
+        kernel.barriers * (params_.barrier_base_cycles +
+                           params_.barrier_cycles_per_wave *
+                               kernel.wavesPerWg(arch));
+    return inv;
+}
+
+AnalyticModel::CuState
+AnalyticModel::computeCuState(const KernelDesc &kernel,
+                              const GpuConfig &cfg,
+                              const Invariants &inv) const
+{
+    CuState cu;
+    cu.occ = computeOccupancy(kernel, cfg);
+    cu.cache = computeCacheBehavior(kernel, cfg, cu.occ);
 
     //
     // Workgroup quantization: each CU drains ceil(nwg/cus) workgroups
@@ -63,85 +157,77 @@ AnalyticModel::estimateParallelPhase(const KernelDesc &kernel,
     // the multiplier on every CU-local throughput term, and it is what
     // makes small launches plateau (and saw-tooth) as CUs are added.
     //
-    const double wgs = static_cast<double>(kernel.num_workgroups);
     const double cus = static_cast<double>(cfg.num_cus);
-    perf.imbalance_factor = std::ceil(wgs / cus) / (wgs / cus);
+    cu.imbalance = std::ceil(inv.wgs / cus) / (inv.wgs / cus);
+
+    cu.l2_bytes = inv.useful_bytes * cu.cache.l2_traffic_per_byte;
+    cu.dram_bytes = inv.useful_bytes * cu.cache.dram_traffic_per_byte;
+
+    cu.l1_frac = cu.cache.l1_hit_rate;
+    cu.l2_frac = (1.0 - cu.l1_frac) * cu.cache.l2_hit_rate;
+    cu.dram_access_frac =
+        (1.0 - cu.cache.l1_hit_rate) * (1.0 - cu.cache.l2_hit_rate);
+
+    cu.concurrency =
+        std::max<double>(1.0, static_cast<double>(cu.occ.active_waves));
+
+    // Retry growth is the mechanism that turns CU scaling *negative*
+    // for reduction-style kernels (applied only when the kernel issues
+    // atomics at all).
+    cu.retry_mult =
+        1.0 + kernel.atomic_contention * params_.atomic_retry_scale *
+                  static_cast<double>(cu.occ.active_waves) /
+                  params_.atomic_reference_waves;
+
+    cu.disp = computeDispatch(kernel, cfg, cu.occ);
+    return cu;
+}
+
+KernelPerf
+AnalyticModel::parallelPhase(const KernelDesc &kernel,
+                             const GpuConfig &cfg,
+                             const Invariants &inv,
+                             const CuState &cu) const
+{
+    KernelPerf perf;
+    perf.occupancy = cu.occ;
+    perf.cache = cu.cache;
+    perf.imbalance_factor = cu.imbalance;
+
+    const double clk = cfg.coreClkHz();
+    const double cus = static_cast<double>(cfg.num_cus);
 
     //
     // CU-local issue bounds.
     //
-    // Each wavefront instruction occupies a SIMD for
-    // wavefront_size / lanes_per_simd cycles (4 on GCN); divergence
-    // wastes issued cycles; transcendentals run at quarter rate.
-    const double div_mult = 1.0 / (1.0 - kernel.branch_divergence);
-    const int issue_cycles_per_inst =
-        cfg.wavefront_size / cfg.lanes_per_simd;
-    const double compute_cycles_per_wave =
-        (kernel.valu_ops + 4.0 * kernel.sfu_ops) *
-        issue_cycles_per_inst * div_mult;
-
-    const double simd_cycles_total = total_waves * compute_cycles_per_wave;
     const double simd_rate = cus * cfg.simds_per_cu * clk;
     perf.t_compute =
-        simd_cycles_total / simd_rate * perf.imbalance_factor;
+        inv.simd_cycles_total / simd_rate * perf.imbalance_factor;
 
     // LDS: lds_ops per work-item, lds_lanes_per_cycle serviced per CU.
-    const double lds_lane_ops = total_items * kernel.lds_ops;
-    perf.t_lds = lds_lane_ops / (cus * cfg.lds_lanes_per_cycle * clk) *
+    perf.t_lds = inv.lds_lane_ops /
+                 (cus * cfg.lds_lanes_per_cycle * clk) *
                  perf.imbalance_factor;
 
     //
     // Memory traffic.
     //
-    const double useful_bytes = kernel.totalBytesRequested();
-    // Every access touches the L1 at line granularity.
-    const double l1_bytes = useful_bytes / kernel.coalescing;
-    const double l2_bytes = useful_bytes * perf.cache.l2_traffic_per_byte;
-    const double dram_bytes =
-        useful_bytes * perf.cache.dram_traffic_per_byte;
-
-    perf.t_l1 = l1_bytes / cfg.peakL1Bw() * perf.imbalance_factor;
+    perf.t_l1 = inv.l1_bytes / cfg.peakL1Bw() * perf.imbalance_factor;
 
     const XbarState xbar = computeXbar(cfg);
-    perf.t_l2 = l2_bytes / xbar.effective_bw;
+    perf.t_l2 = cu.l2_bytes / xbar.effective_bw;
 
     const MemorySystem mem(cfg);
-    perf.t_dram = dram_bytes / mem.peakBandwidth();
+    perf.t_dram = cu.dram_bytes / mem.peakBandwidth();
 
     //
     // Atomics: a fixed global pipeline plus contention-driven retries
-    // that grow with the number of concurrently active waves.  Retry
-    // growth is the mechanism that turns CU scaling *negative* for
-    // reduction-style kernels.
+    // that grow with the number of concurrently active waves.
     //
-    const double total_atomics = total_items * kernel.atomic_ops;
-    if (total_atomics > 0) {
-        const double retry_mult =
-            1.0 + kernel.atomic_contention * params_.atomic_retry_scale *
-                      static_cast<double>(occ.active_waves) /
-                      params_.atomic_reference_waves;
-        perf.t_atomic = total_atomics * retry_mult /
+    if (inv.total_atomics > 0) {
+        perf.t_atomic = inv.total_atomics * cu.retry_mult /
                         (cfg.atomic_ops_per_cycle * clk);
     }
-
-    //
-    // Latency bound with a short fixed-point on DRAM queueing.
-    //
-    const double mem_insts_per_wave =
-        kernel.mem_loads + kernel.mem_stores;
-    const double chains = mem_insts_per_wave / kernel.mlp;
-    const double l1_frac = perf.cache.l1_hit_rate;
-    const double l2_frac = (1.0 - l1_frac) * perf.cache.l2_hit_rate;
-    const double dram_access_frac =
-        (1.0 - perf.cache.l1_hit_rate) * (1.0 - perf.cache.l2_hit_rate);
-
-    const double barrier_cycles =
-        kernel.barriers * (params_.barrier_base_cycles +
-                           params_.barrier_cycles_per_wave *
-                               kernel.wavesPerWg(cfg));
-
-    const double concurrency =
-        std::max<double>(1.0, static_cast<double>(occ.active_waves));
 
     //
     // Closed-system latency bound: with N concurrent wavefronts each
@@ -153,14 +239,14 @@ AnalyticModel::estimateParallelPhase(const KernelDesc &kernel,
     // throughput — which keeps the model monotone in both clocks.
     //
     const double avg_latency =
-        l1_frac * cfg.l1_latency_cycles / clk +
-        l2_frac * (cfg.l2_latency_cycles / clk + xbar.latency_s) +
-        dram_access_frac *
+        cu.l1_frac * cfg.l1_latency_cycles / clk +
+        cu.l2_frac * (cfg.l2_latency_cycles / clk + xbar.latency_s) +
+        cu.dram_access_frac *
             (cfg.l2_latency_cycles / clk + mem.unloadedLatency());
     const double wave_time =
-        compute_cycles_per_wave / clk + barrier_cycles / clk +
-        chains * avg_latency;
-    perf.t_latency = total_waves * wave_time / concurrency;
+        inv.compute_cycles_per_wave / clk + inv.barrier_cycles / clk +
+        inv.chains * avg_latency;
+    perf.t_latency = inv.total_waves * wave_time / cu.concurrency;
 
     const double t_core =
         std::max({perf.t_compute, perf.t_lds, perf.t_l1, perf.t_l2,
@@ -168,7 +254,7 @@ AnalyticModel::estimateParallelPhase(const KernelDesc &kernel,
     perf.kernel_time_s = t_core;
 
     // Delivered-bandwidth bookkeeping (reporting only).
-    const double demand_bw = t_core > 0 ? dram_bytes / t_core : 0.0;
+    const double demand_bw = t_core > 0 ? cu.dram_bytes / t_core : 0.0;
     const DramState dram_state = mem.evaluate(demand_bw);
     perf.achieved_dram_bw = dram_state.achieved_bw;
     perf.dram_utilization = dram_state.utilization;
@@ -195,19 +281,13 @@ AnalyticModel::estimateParallelPhase(const KernelDesc &kernel,
 }
 
 KernelPerf
-AnalyticModel::estimate(const KernelDesc &kernel,
-                        const GpuConfig &cfg) const
+AnalyticModel::estimatePoint(const KernelDesc &kernel,
+                             const GpuConfig &cfg,
+                             const Invariants &inv,
+                             const CuState &cu,
+                             const CuState &serial_cu) const
 {
-    static obs::Counter &evaluations =
-        obs::Registry::instance().counter(
-            "model.analytic.estimates",
-            "analytic-model evaluations");
-    evaluations.inc();
-
-    kernel.validate();
-    cfg.validate();
-
-    KernelPerf perf = estimateParallelPhase(kernel, cfg);
+    KernelPerf perf = parallelPhase(kernel, cfg, inv, cu);
 
     //
     // Amdahl: a serial fraction of the work executes at single-CU
@@ -218,16 +298,14 @@ AnalyticModel::estimate(const KernelDesc &kernel,
         GpuConfig one_cu = cfg;
         one_cu.num_cus = 1;
         const KernelPerf serial_perf =
-            estimateParallelPhase(kernel, one_cu);
+            parallelPhase(kernel, one_cu, inv, serial_cu);
         serial_time = kernel.serial_fraction * serial_perf.kernel_time_s;
         perf.kernel_time_s =
             (1.0 - kernel.serial_fraction) * perf.kernel_time_s +
             serial_time;
     }
 
-    const DispatchState disp = computeDispatch(kernel, cfg,
-                                               perf.occupancy);
-    perf.t_launch = disp.launch_overhead_s;
+    perf.t_launch = cu.disp.launch_overhead_s;
 
     const double per_launch = perf.kernel_time_s + perf.t_launch;
     perf.time_s = static_cast<double>(kernel.launches) * per_launch;
@@ -248,6 +326,79 @@ AnalyticModel::estimate(const KernelDesc &kernel,
         perf.time_s > 0 ? total_flops / perf.time_s / 1e9 : 0.0;
 
     return perf;
+}
+
+KernelPerf
+AnalyticModel::estimate(const KernelDesc &kernel,
+                        const GpuConfig &cfg) const
+{
+    static obs::Counter &evaluations =
+        obs::Registry::instance().counter(
+            "model.analytic.estimates",
+            "analytic-model evaluations");
+    evaluations.inc();
+
+    kernel.validate();
+    cfg.validate();
+
+    const Invariants inv = computeInvariants(kernel, cfg);
+    const CuState cu = computeCuState(kernel, cfg, inv);
+    CuState serial_cu;
+    if (kernel.serial_fraction > 0.0) {
+        GpuConfig one_cu = cfg;
+        one_cu.num_cus = 1;
+        serial_cu = computeCuState(kernel, one_cu, inv);
+    }
+    return estimatePoint(kernel, cfg, inv, cu, serial_cu);
+}
+
+std::vector<KernelPerf>
+AnalyticModel::evaluateGrid(const KernelDesc &kernel,
+                            const ConfigGrid &grid) const
+{
+    static obs::Counter &evaluations =
+        obs::Registry::instance().counter(
+            "model.analytic.estimates",
+            "analytic-model evaluations");
+    static obs::Counter &batches =
+        obs::Registry::instance().counter(
+            "model.analytic.grid.batches",
+            "batched grid evaluations");
+    evaluations.inc(grid.size());
+    batches.inc();
+
+    kernel.validate();
+    grid.validate();
+
+    // Any grid point supplies the fixed microarchitecture parameters.
+    const GpuConfig arch = grid.at(0, 0, 0);
+    const Invariants inv = computeInvariants(kernel, arch);
+
+    // The Amdahl phase always runs on a one-CU machine, so its
+    // clock-independent state is shared by the entire grid.
+    CuState serial_cu;
+    if (kernel.serial_fraction > 0.0) {
+        GpuConfig one_cu = arch;
+        one_cu.num_cus = 1;
+        serial_cu = computeCuState(kernel, one_cu, inv);
+    }
+
+    std::vector<KernelPerf> out(grid.size());
+    size_t flat = 0;
+    for (size_t cu_i = 0; cu_i < grid.numCu(); ++cu_i) {
+        // Occupancy, cache, quantization, dispatch: once per CU
+        // setting, reused across all clock pairs.
+        const CuState cu =
+            computeCuState(kernel, grid.at(cu_i, 0, 0), inv);
+        for (size_t core_i = 0; core_i < grid.numCoreClk(); ++core_i) {
+            for (size_t mem_i = 0; mem_i < grid.numMemClk(); ++mem_i) {
+                out[flat++] = estimatePoint(
+                    kernel, grid.at(cu_i, core_i, mem_i), inv, cu,
+                    serial_cu);
+            }
+        }
+    }
+    return out;
 }
 
 } // namespace gpu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ConfigGrid: the gpu-layer view of a dense 3-axis configuration
+ * grid.
+ *
+ * The batched model entry point (PerfModel::evaluateGrid) needs the
+ * grid *structure* — which of the three swept knobs changes fastest —
+ * not just a flat list of configurations, because hoisting
+ * kernel-invariant and CU-invariant work out of the inner loops is
+ * what makes the batched path fast.  scaling::ConfigSpace converts to
+ * this type (scaling sits above gpu in the layer order, so the
+ * dependency points the right way).
+ *
+ * Flattening matches ConfigSpace: cu is the slowest axis, memory
+ * clock the fastest, i.e. flat = (cu_i * n_core + core_i) * n_mem +
+ * mem_i.
+ */
+
+#ifndef GPUSCALE_GPU_CONFIG_GRID_HH
+#define GPUSCALE_GPU_CONFIG_GRID_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpu_config.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+/** A dense (compute units x core clock x memory clock) grid. */
+struct ConfigGrid {
+    /** Compute-unit axis, strictly increasing. */
+    std::vector<int> cu_values;
+
+    /** Core-clock axis in MHz, strictly increasing. */
+    std::vector<double> core_clks_mhz;
+
+    /** Memory-clock axis in MHz, strictly increasing. */
+    std::vector<double> mem_clks_mhz;
+
+    /** Fixed microarchitecture parameters every point inherits. */
+    GpuConfig base;
+
+    size_t numCu() const { return cu_values.size(); }
+    size_t numCoreClk() const { return core_clks_mhz.size(); }
+    size_t numMemClk() const { return mem_clks_mhz.size(); }
+    size_t size() const { return numCu() * numCoreClk() * numMemClk(); }
+
+    /** Flatten axis indices to a linear index (cu slowest). */
+    size_t flatten(size_t cu_i, size_t core_i, size_t mem_i) const;
+
+    /** Materialize the configuration at the given axis indices. */
+    GpuConfig at(size_t cu_i, size_t core_i, size_t mem_i) const;
+
+    /** fatal() if an axis is empty, unsorted, or a point is invalid. */
+    void validate() const;
+
+    /**
+     * Locale-independent serialization of the axes and the base
+     * configuration's swept knobs, for sweep-cache keys.  Two grids
+     * with equal fingerprints produce identical configuration
+     * sequences.
+     */
+    std::string fingerprint() const;
+};
+
+} // namespace gpu
+} // namespace gpuscale
+
+#endif // GPUSCALE_GPU_CONFIG_GRID_HH

@@ -14,7 +14,9 @@
 #define GPUSCALE_GPU_PERF_MODEL_HH
 
 #include <string>
+#include <vector>
 
+#include "config_grid.hh"
 #include "perf_result.hh"
 
 namespace gpuscale {
@@ -38,8 +40,33 @@ class PerfModel
     virtual KernelPerf estimate(const KernelDesc &kernel,
                                 const GpuConfig &cfg) const = 0;
 
+    /**
+     * Estimate the kernel on every grid point, returned in
+     * ConfigGrid::flatten order.
+     *
+     * The base implementation is the scalar oracle: one estimate()
+     * call per point, so any override is checkable against it
+     * point-for-point (the differential tests assert bitwise-equal
+     * runtimes).  Models with structure to exploit (AnalyticModel)
+     * override this with a batched walk that hoists kernel- and
+     * CU-invariant work out of the clock loops.
+     */
+    virtual std::vector<KernelPerf> evaluateGrid(
+        const KernelDesc &kernel, const ConfigGrid &grid) const;
+
     /** Model name for reports ("analytic", "event"). */
     virtual std::string name() const = 0;
+
+    /**
+     * Identity string for sweep-cache keys: two models with equal,
+     * non-empty fingerprints must produce identical estimates for
+     * identical inputs.  An empty string marks the model uncacheable,
+     * and is the default — a model must opt in by folding its name
+     * and *every* tunable parameter into the string, because a stale
+     * hit served across models with different parameters is silent
+     * data corruption.
+     */
+    virtual std::string fingerprint() const { return ""; }
 };
 
 } // namespace gpu

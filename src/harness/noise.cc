@@ -9,6 +9,7 @@
 
 #include "base/logging.hh"
 #include "base/random.hh"
+#include "base/string_util.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/kernel_desc.hh"
 
@@ -36,6 +37,19 @@ NoisyModel::NoisyModel(const gpu::PerfModel &inner, double sigma,
     fatal_if(sigma < 0, "negative noise sigma %f", sigma);
 }
 
+void
+NoisyModel::perturb(const gpu::KernelDesc &kernel,
+                    const gpu::GpuConfig &cfg,
+                    gpu::KernelPerf &perf) const
+{
+    uint64_t h = hashString(kernel.name, 0xcbf29ce484222325ull ^ seed_);
+    h = hashString(cfg.id(), h);
+    Rng rng(h);
+    const double factor = std::exp(rng.normal(0.0, sigma_));
+    perf.time_s *= factor;
+    perf.kernel_time_s *= factor;
+}
+
 gpu::KernelPerf
 NoisyModel::estimate(const gpu::KernelDesc &kernel,
                      const gpu::GpuConfig &cfg) const
@@ -43,20 +57,42 @@ NoisyModel::estimate(const gpu::KernelDesc &kernel,
     gpu::KernelPerf perf = inner_.estimate(kernel, cfg);
     if (sigma_ == 0.0)
         return perf;
-
-    uint64_t h = hashString(kernel.name, 0xcbf29ce484222325ull ^ seed_);
-    h = hashString(cfg.id(), h);
-    Rng rng(h);
-    const double factor = std::exp(rng.normal(0.0, sigma_));
-    perf.time_s *= factor;
-    perf.kernel_time_s *= factor;
+    perturb(kernel, cfg, perf);
     return perf;
+}
+
+std::vector<gpu::KernelPerf>
+NoisyModel::evaluateGrid(const gpu::KernelDesc &kernel,
+                         const gpu::ConfigGrid &grid) const
+{
+    std::vector<gpu::KernelPerf> out = inner_.evaluateGrid(kernel, grid);
+    if (sigma_ == 0.0)
+        return out;
+    for (size_t cu_i = 0; cu_i < grid.numCu(); ++cu_i) {
+        for (size_t core_i = 0; core_i < grid.numCoreClk(); ++core_i) {
+            for (size_t mem_i = 0; mem_i < grid.numMemClk(); ++mem_i) {
+                perturb(kernel, grid.at(cu_i, core_i, mem_i),
+                        out[grid.flatten(cu_i, core_i, mem_i)]);
+            }
+        }
+    }
+    return out;
 }
 
 std::string
 NoisyModel::name() const
 {
     return inner_.name() + strprintf("+noise(%.3f)", sigma_);
+}
+
+std::string
+NoisyModel::fingerprint() const
+{
+    const std::string inner_fp = inner_.fingerprint();
+    if (inner_fp.empty())
+        return "";
+    return inner_fp + "+noise(" + formatDoubleShortest(sigma_) + "," +
+           std::to_string(seed_) + ")";
 }
 
 } // namespace harness

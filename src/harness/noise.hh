@@ -40,12 +40,32 @@ class NoisyModel : public gpu::PerfModel
     gpu::KernelPerf estimate(const gpu::KernelDesc &kernel,
                              const gpu::GpuConfig &cfg) const override;
 
+    /**
+     * Batched walk: the inner model's evaluateGrid() plus the same
+     * per-point perturbation as estimate(), so the noisy batched and
+     * scalar paths stay bitwise identical too.
+     */
+    std::vector<gpu::KernelPerf> evaluateGrid(
+        const gpu::KernelDesc &kernel,
+        const gpu::ConfigGrid &grid) const override;
+
     std::string name() const override;
+
+    /**
+     * Noise is deterministic per (kernel, config, seed), so a noisy
+     * sweep is cacheable: the inner fingerprint plus sigma and seed
+     * (empty whenever the inner model is uncacheable).
+     */
+    std::string fingerprint() const override;
 
     double sigma() const { return sigma_; }
     uint64_t seed() const { return seed_; }
 
   private:
+    void perturb(const gpu::KernelDesc &kernel,
+                 const gpu::GpuConfig &cfg,
+                 gpu::KernelPerf &perf) const;
+
     const gpu::PerfModel &inner_;
     double sigma_;
     uint64_t seed_;

@@ -1,11 +1,19 @@
 /**
  * @file
  * Sweep harness implementation.
+ *
+ * The hot path is batched and sharded: each kernel is one
+ * PerfModel::evaluateGrid() call (the model hoists grid-invariant
+ * work), consulted through the SweepCache first, and kernels are
+ * distributed across the worker pool in contiguous shards rather than
+ * one dispatch per kernel.
  */
 
 #include "sweep.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "base/logging.hh"
 #include "gpu/kernel_desc.hh"
@@ -13,6 +21,7 @@
 #include "obs/progress.hh"
 #include "obs/trace.hh"
 #include "parallel.hh"
+#include "sweep_cache.hh"
 
 namespace gpuscale {
 namespace harness {
@@ -24,6 +33,8 @@ struct SweepMetrics {
     obs::Counter &estimates;
     obs::Counter &kernels;
     obs::Histogram &latency;
+    obs::Gauge &shards;
+    obs::Histogram &shard_latency;
 
     static SweepMetrics &
     get()
@@ -37,34 +48,56 @@ struct SweepMetrics {
             obs::Registry::instance().histogram(
                 "sweep.estimate.latency",
                 "seconds per model estimate"),
+            obs::Registry::instance().gauge(
+                "census.shard.count",
+                "kernel shards in the last sweepKernels call"),
+            obs::Registry::instance().histogram(
+                "census.shard.latency",
+                "seconds per kernel shard"),
         };
         return m;
     }
 };
 
 /**
- * Sweep one kernel over the whole grid, timing every estimate into
- * the latency histogram, under one trace span named after the kernel.
+ * Sweep one kernel over the whole grid: one cache probe, then one
+ * batched model evaluation on a miss.  The per-estimate latency
+ * histogram is fed the batch's amortized per-point cost, and
+ * sweep.estimates.count advances only for estimates actually computed
+ * (cache hits are free and are counted by sweep.cache.hits).
  */
 std::vector<double>
 sweepOne(const gpu::PerfModel &model, const gpu::KernelDesc &kernel,
-         const scaling::ConfigSpace &space)
+         const gpu::ConfigGrid &grid, const std::string &key)
 {
     SweepMetrics &metrics = SweepMetrics::get();
     GPUSCALE_TRACE_SCOPE("sweep/" + kernel.name);
     metrics.kernels.inc();
 
-    std::vector<double> runtimes(space.size());
-    for (size_t i = 0; i < space.size(); ++i) {
-        const auto t0 = std::chrono::steady_clock::now();
-        runtimes[i] = model.estimate(kernel, space.at(i)).time_s;
-        const auto t1 = std::chrono::steady_clock::now();
-        metrics.latency.record(
-            std::chrono::duration<double>(t1 - t0).count());
+    std::vector<double> runtimes;
+    if (SweepCache::instance().lookup(key, runtimes)) {
+        debuglog("swept %s: %zu configs (cached)", kernel.name.c_str(),
+                 runtimes.size());
+        return runtimes;
     }
-    metrics.estimates.inc(space.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<gpu::KernelPerf> perfs =
+        model.evaluateGrid(kernel, grid);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    runtimes.resize(perfs.size());
+    for (size_t i = 0; i < perfs.size(); ++i)
+        runtimes[i] = perfs[i].time_s;
+
+    metrics.estimates.inc(perfs.size());
+    metrics.latency.record(
+        std::chrono::duration<double>(t1 - t0).count() /
+        static_cast<double>(std::max<size_t>(1, perfs.size())));
+
+    SweepCache::instance().insert(key, runtimes);
     debuglog("swept %s: %zu configs", kernel.name.c_str(),
-             space.size());
+             runtimes.size());
     return runtimes;
 }
 
@@ -74,8 +107,10 @@ scaling::ScalingSurface
 sweepKernel(const gpu::PerfModel &model, const gpu::KernelDesc &kernel,
             const scaling::ConfigSpace &space)
 {
+    const gpu::ConfigGrid grid = space.grid();
+    const std::string key = SweepCache::keyFor(model, kernel, grid);
     return scaling::ScalingSurface(kernel.name, space,
-                                   sweepOne(model, kernel, space));
+                                   sweepOne(model, kernel, grid, key));
 }
 
 std::vector<scaling::ScalingSurface>
@@ -87,12 +122,42 @@ sweepKernels(const gpu::PerfModel &model,
     for (const auto *kernel : kernels)
         panic_if(kernel == nullptr, "sweepKernels: null kernel");
 
+    SweepMetrics &metrics = SweepMetrics::get();
+    const gpu::ConfigGrid grid = space.grid();
+
+    // Cache keys are computed up front on the calling thread; only
+    // the model evaluations are worth farming out.
+    std::vector<std::string> keys(kernels.size());
+    for (size_t k = 0; k < kernels.size(); ++k)
+        keys[k] = SweepCache::keyFor(model, *kernels[k], grid);
+
+    //
+    // Shard kernels into contiguous slices, several per worker so a
+    // slow kernel (or a run of cache hits) cannot stall the tail.
+    // Each shard is one pool dispatch instead of one per kernel.
+    //
+    const size_t workers =
+        std::max<unsigned>(1u, std::thread::hardware_concurrency());
+    const size_t num_shards =
+        std::min(kernels.size(), std::max<size_t>(1, workers * 4));
+    metrics.shards.set(static_cast<double>(num_shards));
+
     // Build surfaces into pre-sized slots so workers never contend.
     std::vector<std::vector<double>> runtimes(kernels.size());
-    parallelFor(kernels.size(), [&](size_t k) {
-        runtimes[k] = sweepOne(model, *kernels[k], space);
-        if (progress != nullptr)
-            progress->tick();
+    parallelFor(num_shards, [&](size_t shard) {
+        const auto t0 = std::chrono::steady_clock::now();
+        // Balanced contiguous partition of [0, n) into num_shards.
+        const size_t n = kernels.size();
+        const size_t begin = shard * n / num_shards;
+        const size_t end = (shard + 1) * n / num_shards;
+        for (size_t k = begin; k < end; ++k) {
+            runtimes[k] = sweepOne(model, *kernels[k], grid, keys[k]);
+            if (progress != nullptr)
+                progress->tick();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        metrics.shard_latency.record(
+            std::chrono::duration<double>(t1 - t0).count());
     });
 
     std::vector<scaling::ScalingSurface> surfaces;

@@ -23,7 +23,9 @@ class ProgressReporter;
 namespace harness {
 
 /**
- * Measure one kernel at every grid point.
+ * Measure one kernel at every grid point — one batched
+ * PerfModel::evaluateGrid() call, served from the SweepCache when the
+ * identical (model, kernel, grid) sweep has run before.
  *
  * @return the kernel's scaling surface.
  */
@@ -33,7 +35,8 @@ scaling::ScalingSurface sweepKernel(const gpu::PerfModel &model,
 
 /**
  * Measure a batch of kernels; kernels are distributed across worker
- * threads (each (kernel, config) estimate is independent).
+ * threads in contiguous shards (census.shard.* metrics), each kernel
+ * evaluated as one batched grid call through the SweepCache.
  *
  * Each swept kernel records a "sweep/<name>" trace span and feeds the
  * sweep.estimate.latency histogram (see docs/observability.md).

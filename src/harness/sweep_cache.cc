@@ -1,0 +1,301 @@
+/**
+ * @file
+ * SweepCache implementation.
+ */
+
+#include "sweep_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/string_util.hh"
+#include "obs/metrics.hh"
+
+namespace gpuscale {
+namespace harness {
+
+namespace {
+
+constexpr char kFileMagic[] = "gpuscale-sweep-cache-v1";
+
+/** Cached instrument references for the cache hot path. */
+struct CacheMetrics {
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &disk_hits;
+    obs::Counter &disk_writes;
+    obs::Gauge &entries;
+
+    static CacheMetrics &
+    get()
+    {
+        static CacheMetrics m{
+            obs::Registry::instance().counter(
+                "sweep.cache.hits", "sweep-cache lookups served"),
+            obs::Registry::instance().counter(
+                "sweep.cache.misses", "sweep-cache lookups recomputed"),
+            obs::Registry::instance().counter(
+                "sweep.cache.disk.hits",
+                "sweep-cache hits served from the disk layer"),
+            obs::Registry::instance().counter(
+                "sweep.cache.disk.writes",
+                "sweep-cache entries persisted to disk"),
+            obs::Registry::instance().gauge(
+                "sweep.cache.entries", "in-memory sweep-cache entries"),
+        };
+        return m;
+    }
+};
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    out += formatDoubleShortest(v);
+    out += ';';
+}
+
+} // namespace
+
+SweepCache &
+SweepCache::instance()
+{
+    static SweepCache cache;
+    return cache;
+}
+
+std::string
+SweepCache::keyFor(const gpu::PerfModel &model,
+                   const gpu::KernelDesc &kernel,
+                   const gpu::ConfigGrid &grid)
+{
+    const std::string model_fp = model.fingerprint();
+    if (model_fp.empty())
+        return "";
+
+    std::string key = "model=";
+    key += model_fp;
+    key += "|kernel=";
+    key += kernel.name;
+    key += ';';
+    // Every descriptor field is a model input, so every field is part
+    // of the identity — including ones only some models read.
+    key += std::to_string(kernel.num_workgroups);
+    key += ';';
+    key += std::to_string(kernel.work_items_per_wg);
+    key += ';';
+    key += std::to_string(kernel.launches);
+    key += ';';
+    appendDouble(key, kernel.valu_ops);
+    appendDouble(key, kernel.salu_ops_per_wave);
+    appendDouble(key, kernel.sfu_ops);
+    appendDouble(key, kernel.mem_loads);
+    appendDouble(key, kernel.mem_stores);
+    appendDouble(key, kernel.bytes_per_access);
+    appendDouble(key, kernel.coalescing);
+    appendDouble(key, kernel.lds_ops);
+    appendDouble(key, kernel.lds_bytes_per_wg);
+    key += std::to_string(kernel.vgprs);
+    key += ';';
+    appendDouble(key, kernel.branch_divergence);
+    appendDouble(key, kernel.barriers);
+    appendDouble(key, kernel.l1_reuse);
+    appendDouble(key, kernel.l2_reuse);
+    appendDouble(key, kernel.footprint_bytes_per_wg);
+    appendDouble(key, kernel.shared_footprint_bytes);
+    appendDouble(key, kernel.mlp);
+    appendDouble(key, kernel.serial_fraction);
+    appendDouble(key, kernel.atomic_ops);
+    appendDouble(key, kernel.atomic_contention);
+    appendDouble(key, kernel.host_overhead_us);
+    key += "|";
+    key += grid.fingerprint();
+    return key;
+}
+
+bool
+SweepCache::lookup(const std::string &key, std::vector<double> &runtimes)
+{
+    CacheMetrics &metrics = CacheMetrics::get();
+    if (key.empty()) {
+        metrics.misses.inc();
+        return false;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            runtimes = it->second;
+            metrics.hits.inc();
+            return true;
+        }
+    }
+
+    if (diskLookup(key, runtimes)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rememberLocked(key, runtimes);
+        metrics.hits.inc();
+        metrics.disk_hits.inc();
+        return true;
+    }
+
+    metrics.misses.inc();
+    return false;
+}
+
+void
+SweepCache::insert(const std::string &key,
+                   const std::vector<double> &runtimes)
+{
+    if (key.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rememberLocked(key, runtimes);
+    }
+    diskInsert(key, runtimes);
+}
+
+void
+SweepCache::rememberLocked(const std::string &key,
+                           const std::vector<double> &runtimes)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second = runtimes;
+        return;
+    }
+    while (map_.size() >= kMaxEntries) {
+        map_.erase(fifo_.front());
+        fifo_.pop_front();
+    }
+    map_.emplace(key, runtimes);
+    fifo_.push_back(key);
+    CacheMetrics::get().entries.set(static_cast<double>(map_.size()));
+}
+
+void
+SweepCache::setDirectory(const std::string &dir)
+{
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        fatal_if(ec, "cannot create sweep-cache directory %s: %s",
+                 dir.c_str(), ec.message().c_str());
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    dir_ = dir;
+}
+
+void
+SweepCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    fifo_.clear();
+    CacheMetrics::get().entries.set(0.0);
+}
+
+size_t
+SweepCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::string
+SweepCache::diskPath(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dir_.empty())
+        return "";
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.sweep",
+                  static_cast<unsigned long long>(fnv1a(key)));
+    return dir_ + "/" + name;
+}
+
+bool
+SweepCache::diskLookup(const std::string &key,
+                       std::vector<double> &runtimes)
+{
+    const std::string path = diskPath(key);
+    if (path.empty())
+        return false;
+
+    std::ifstream is(path);
+    if (!is)
+        return false;
+
+    std::string magic, stored_key, count_line;
+    if (!std::getline(is, magic) || magic != kFileMagic)
+        return false;
+    // The full key is stored and compared, so a 64-bit filename-hash
+    // collision degrades to a miss, never to wrong data.
+    if (!std::getline(is, stored_key) || stored_key != key)
+        return false;
+    if (!std::getline(is, count_line))
+        return false;
+    const std::optional<double> count = parseDouble(count_line);
+    if (!count || *count < 0)
+        return false;
+
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(*count));
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::optional<double> v = parseDouble(line);
+        if (!v)
+            return false;
+        values.push_back(*v);
+    }
+    if (values.size() != static_cast<size_t>(*count))
+        return false;
+    runtimes = std::move(values);
+    return true;
+}
+
+void
+SweepCache::diskInsert(const std::string &key,
+                       const std::vector<double> &runtimes)
+{
+    const std::string path = diskPath(key);
+    if (path.empty())
+        return;
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp);
+        if (!os) {
+            warn("sweep-cache: cannot write %s", tmp.c_str());
+            return;
+        }
+        os << kFileMagic << '\n' << key << '\n'
+           << runtimes.size() << '\n';
+        for (const double v : runtimes)
+            os << formatDoubleShortest(v) << '\n';
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("sweep-cache: cannot rename %s", tmp.c_str());
+        std::remove(tmp.c_str());
+        return;
+    }
+    CacheMetrics::get().disk_writes.inc();
+}
+
+} // namespace harness
+} // namespace gpuscale

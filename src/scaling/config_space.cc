@@ -114,6 +114,17 @@ ConfigSpace::unflatten(size_t flat) const
     return idx;
 }
 
+gpu::ConfigGrid
+ConfigSpace::grid() const
+{
+    gpu::ConfigGrid grid;
+    grid.cu_values = cu_values_;
+    grid.core_clks_mhz = core_clks_;
+    grid.mem_clks_mhz = mem_clks_;
+    grid.base = base_;
+    return grid;
+}
+
 gpu::GpuConfig
 ConfigSpace::maxConfig() const
 {

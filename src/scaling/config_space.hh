@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "gpu/config_grid.hh"
 #include "gpu/gpu_config.hh"
 
 namespace gpuscale {
@@ -67,6 +68,13 @@ class ConfigSpace
     /** Axis indices for a linear index, as {cu, core, mem}. */
     struct AxisIndex { size_t cu, core, mem; };
     AxisIndex unflatten(size_t flat) const;
+
+    /**
+     * This space as the model layer's batched-evaluation grid.  The
+     * flatten order is identical, so evaluateGrid() results line up
+     * index-for-index with at(flat).
+     */
+    gpu::ConfigGrid grid() const;
 
     /** The largest configuration (max of every axis). */
     gpu::GpuConfig maxConfig() const;

@@ -23,6 +23,10 @@
  *   --metrics=FILE        write a metrics-registry JSON snapshot and
  *                         print the metrics table.
  *   --progress            live progress line on stderr during sweeps.
+ *   --sweep-cache=DIR     persist sweep results under DIR so repeat
+ *                         invocations of the same sweep hit the cache
+ *                         instead of recomputing (sweep.cache.hits in
+ *                         the metrics snapshot shows the effect).
  *
  * Exit codes: 0 success, 1 runtime failure, 2 unknown command,
  * 3 bad arguments — scripted drivers can tell a typo'd subcommand
@@ -44,6 +48,7 @@
 #include "gpu/analytic_model.hh"
 #include "harness/experiment.hh"
 #include "harness/noise.hh"
+#include "harness/sweep_cache.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/run_manifest.hh"
@@ -65,6 +70,7 @@ constexpr int kExitBadArguments = 3;
 struct CliOptions {
     std::string trace_file;
     std::string metrics_file;
+    std::string sweep_cache_dir;
     bool progress = false;
 };
 
@@ -207,6 +213,7 @@ usage()
         "  --trace=FILE         Chrome/Perfetto trace-event JSON\n"
         "  --metrics=FILE       metrics-registry JSON snapshot\n"
         "  --progress           live sweep progress on stderr\n"
+        "  --sweep-cache=DIR    persistent sweep cache directory\n"
         "exit codes: 0 ok, 1 failure, 2 unknown command, "
         "3 bad arguments\n");
 }
@@ -239,6 +246,8 @@ main(int argc, char **argv)
             opts.trace_file = arg.substr(8);
         } else if (arg.rfind("--metrics=", 0) == 0) {
             opts.metrics_file = arg.substr(10);
+        } else if (arg.rfind("--sweep-cache=", 0) == 0) {
+            opts.sweep_cache_dir = arg.substr(14);
         } else if (arg == "--progress") {
             opts.progress = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -257,6 +266,9 @@ main(int argc, char **argv)
 
     if (!opts.trace_file.empty())
         obs::TraceSession::start(opts.trace_file);
+    if (!opts.sweep_cache_dir.empty())
+        harness::SweepCache::instance().setDirectory(
+            opts.sweep_cache_dir);
 
     const std::string cmd = args[0];
     int rc;

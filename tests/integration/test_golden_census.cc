@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Golden-data regression test for the paper census.
+ *
+ * Regenerates the full census and compares it byte-for-byte against
+ * committed golden files:
+ *
+ *  - tests/golden/classifications.csv — every kernel's class, in
+ *    writeClassificationsCsv() format;
+ *  - tests/golden/headline.json — the T1–T5 headline numbers: 891
+ *    configurations, 97 programs, 267 kernels, and the population of
+ *    every taxonomy class.
+ *
+ * Any change to the model, the workload zoo, or the classifier that
+ * shifts a single kernel fails here with a name-level diff.  When the
+ * change is *intended*, regenerate with:
+ *
+ *     test_golden_census --update-golden
+ *
+ * (the golden directory comes from GPUSCALE_GOLDEN_DIR, exported by
+ * tests/CMakeLists.txt, so the flag rewrites the checked-in files).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpu/analytic_model.hh"
+#include "harness/experiment.hh"
+#include "obs/json.hh"
+#include "scaling/report.hh"
+#include "scaling/taxonomy.hh"
+#include "workloads/registry.hh"
+
+namespace gpuscale {
+namespace {
+
+bool update_golden = false;
+
+std::string
+goldenDir()
+{
+    const char *dir = std::getenv("GPUSCALE_GOLDEN_DIR");
+    return dir != nullptr ? dir : "tests/golden";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return "";
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << content;
+}
+
+/** One census per binary; both tests compare against it. */
+const harness::CensusResult &
+census()
+{
+    static const harness::CensusResult result =
+        harness::runCensus(gpu::AnalyticModel{});
+    return result;
+}
+
+std::string
+headlineJson()
+{
+    const auto &reg = workloads::WorkloadRegistry::instance();
+    std::map<std::string, uint64_t> populations;
+    for (const auto cls : scaling::allTaxonomyClasses())
+        populations[scaling::taxonomyClassName(cls)] = 0;
+    for (const auto &c : census().classifications)
+        ++populations[scaling::taxonomyClassName(c.cls)];
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("num_configs")
+        .value(static_cast<uint64_t>(census().space.size()));
+    w.key("num_programs")
+        .value(static_cast<uint64_t>(reg.numPrograms()));
+    w.key("num_kernels")
+        .value(static_cast<uint64_t>(reg.numKernels()));
+    w.key("class_populations");
+    w.beginObject();
+    // std::map iterates sorted, so the serialization is stable.
+    for (const auto &[name, count] : populations)
+        w.key(name).value(count);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+std::string
+classificationsCsv()
+{
+    std::ostringstream os;
+    scaling::writeClassificationsCsv(os, census().classifications);
+    return os.str();
+}
+
+TEST(GoldenCensusTest, ClassificationsMatchGoldenCsv)
+{
+    const std::string path = goldenDir() + "/classifications.csv";
+    const std::string current = classificationsCsv();
+
+    if (update_golden) {
+        writeFile(path, current);
+        GTEST_SKIP() << "updated " << path;
+    }
+
+    const std::string golden = readFile(path);
+    ASSERT_FALSE(golden.empty())
+        << path << " missing — run test_golden_census --update-golden";
+
+    if (golden == current) {
+        SUCCEED();
+        return;
+    }
+    // Byte mismatch: report the first differing kernels by line so
+    // the failure names the defectors instead of dumping both files.
+    auto splitLines = [](const std::string &text) {
+        std::vector<std::string> lines;
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+        return lines;
+    };
+    const auto glines = splitLines(golden);
+    const auto clines = splitLines(current);
+    const size_t n = std::max(glines.size(), clines.size());
+    size_t reported = 0;
+    for (size_t i = 0; i < n && reported < 10; ++i) {
+        const std::string &g = i < glines.size() ? glines[i] : "";
+        const std::string &c = i < clines.size() ? clines[i] : "";
+        if (g != c) {
+            ADD_FAILURE() << "classifications.csv line " << (i + 1)
+                          << "\n  golden:  " << g
+                          << "\n  current: " << c;
+            ++reported;
+        }
+    }
+    ADD_FAILURE() << "census drifted from " << path
+                  << " — if intended, regenerate with "
+                     "test_golden_census --update-golden";
+}
+
+TEST(GoldenCensusTest, HeadlineNumbersMatchGoldenJson)
+{
+    const std::string path = goldenDir() + "/headline.json";
+    const std::string current = headlineJson();
+
+    if (update_golden) {
+        writeFile(path, current);
+        GTEST_SKIP() << "updated " << path;
+    }
+
+    const std::string golden = readFile(path);
+    ASSERT_FALSE(golden.empty())
+        << path << " missing — run test_golden_census --update-golden";
+
+    // Structural comparison (parsed, not byte) so the diagnostic says
+    // which headline number moved...
+    const obs::JsonValue g = obs::parseJson(golden);
+    const obs::JsonValue c = obs::parseJson(current);
+    EXPECT_EQ(g.at("num_configs").number, c.at("num_configs").number);
+    EXPECT_EQ(g.at("num_programs").number, c.at("num_programs").number);
+    EXPECT_EQ(g.at("num_kernels").number, c.at("num_kernels").number);
+    for (const auto cls : scaling::allTaxonomyClasses()) {
+        const std::string name = scaling::taxonomyClassName(cls);
+        EXPECT_EQ(g.at("class_populations").at(name).number,
+                  c.at("class_populations").at(name).number)
+            << "population of class " << name;
+    }
+    // ...and the bytes must match too (serialization stability is
+    // part of the contract: goldens are diffed by git).
+    EXPECT_EQ(golden, current);
+}
+
+TEST(GoldenCensusTest, GoldenAgreesWithPaperHeadline)
+{
+    // The goldens themselves must describe the paper's census shape;
+    // guards against committing a golden generated from a test grid.
+    EXPECT_EQ(census().space.size(), 891u);
+    EXPECT_EQ(workloads::WorkloadRegistry::instance().numPrograms(),
+              97u);
+    EXPECT_EQ(workloads::WorkloadRegistry::instance().numKernels(),
+              267u);
+}
+
+} // namespace
+} // namespace gpuscale
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden")
+            gpuscale::update_golden = true;
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
