@@ -8,8 +8,12 @@
  * BENCH_census.json so CI can archive wall time, estimates/s, thread
  * count, and cache hit rate per commit.
  *
+ * Also times the census with a crash-safe checkpoint journal attached
+ * and emits BENCH_resilience.json; the journal's write overhead vs
+ * the unjournaled run is the resilience perf gate (<= 5%).
+ *
  * Usage: bench_runner [--runs=N] [--warmup=N] [--output=FILE]
- *                     [--test-grid]
+ *                     [--resilience-output=FILE] [--test-grid]
  *
  * --test-grid shrinks the sweep to the 27-point grid so smoke jobs
  * stay fast; the emitted JSON records which grid ran.
@@ -18,7 +22,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +32,8 @@
 #include "base/logging.hh"
 #include "base/string_util.hh"
 #include "bench_common.hh"
+#include "harness/checkpoint.hh"
+#include "harness/experiment.hh"
 #include "harness/sweep.hh"
 #include "harness/sweep_cache.hh"
 #include "obs/json.hh"
@@ -40,6 +48,7 @@ struct RunnerOptions {
     int runs = 5;
     int warmup = 1;
     std::string output = "BENCH_census.json";
+    std::string resilience_output = "BENCH_resilience.json";
     bool test_grid = false;
 };
 
@@ -139,6 +148,62 @@ run(const RunnerOptions &opts)
                 "(%.0f/%.0f)\n",
                 warm.min_s, hit_rate, hits, lookups);
 
+    //
+    // 4. Resilience gate: the full census (sweep + classification —
+    //    what `gpuscale census` runs and what a user checkpoints)
+    //    with and without the crash-safe journal.  The journal's
+    //    write overhead against its own unjournaled baseline must
+    //    stay <= 5%.
+    //
+    const bench::TimingStats census_plain =
+        bench::minOfN(opts.warmup, opts.runs, [&] {
+            harness::SweepCache::instance().clear();
+            const auto census = harness::runCensus(
+                model, space, scaling::TaxonomyParams{});
+            fatal_if(census.classifications.size() != kernels.size(),
+                     "census classified %zu of %zu kernels",
+                     census.classifications.size(), kernels.size());
+        });
+    const std::string journal_dir = "bench-checkpoint-journal";
+    std::filesystem::remove_all(journal_dir);
+    const uint64_t records0 =
+        registry.counter("checkpoint.records").value();
+    // A fresh journal per run (a pre-existing one would replay
+    // instead of write), constructed up front: journal setup is
+    // once-per-census, the gate measures steady-state record() write
+    // overhead.
+    std::vector<std::unique_ptr<harness::CensusJournal>> journals;
+    for (int i = 0; i < opts.warmup + opts.runs; ++i) {
+        journals.push_back(std::make_unique<harness::CensusJournal>(
+            journal_dir + "/" + std::to_string(i),
+            model.fingerprint(), space.grid().fingerprint()));
+    }
+    size_t ck_run = 0;
+    const bench::TimingStats checkpointed =
+        bench::minOfN(opts.warmup, opts.runs, [&] {
+            harness::SweepCache::instance().clear();
+            const auto census = harness::runCensus(
+                model, space, scaling::TaxonomyParams{}, nullptr,
+                journals[ck_run++].get());
+            fatal_if(census.classifications.size() != kernels.size(),
+                     "checkpointed census classified %zu of %zu "
+                     "kernels",
+                     census.classifications.size(), kernels.size());
+        });
+    journals.clear();
+    std::filesystem::remove_all(journal_dir);
+    const uint64_t journal_records =
+        registry.counter("checkpoint.records").value() - records0;
+    const double overhead_pct =
+        census_plain.min_s > 0
+            ? (checkpointed.min_s / census_plain.min_s - 1.0) * 100.0
+            : 0.0;
+    std::printf("census (no journal):     %.4f s min-of-%d\n",
+                census_plain.min_s, census_plain.runs);
+    std::printf("census (journaled):      %.4f s min-of-%d "
+                "(journal overhead %+.2f%%)\n",
+                checkpointed.min_s, checkpointed.runs, overhead_pct);
+
     std::ofstream os(opts.output);
     fatal_if(!os, "cannot write %s", opts.output.c_str());
     obs::JsonWriter w(os);
@@ -183,6 +248,26 @@ run(const RunnerOptions &opts)
     fatal_if(!w.complete(), "BENCH JSON incomplete");
     inform("wrote %s", opts.output.c_str());
 
+    std::ofstream ros(opts.resilience_output);
+    fatal_if(!ros, "cannot write %s", opts.resilience_output.c_str());
+    obs::JsonWriter rw(ros);
+    rw.beginObject();
+    rw.key("schema_version").value(1);
+    rw.key("benchmark").value("resilience");
+    rw.key("grid").value(opts.test_grid ? "test" : "paper");
+    rw.key("threads").value(static_cast<uint64_t>(threads));
+    rw.key("checkpointed");
+    writeTiming(rw, checkpointed, estimates);
+    rw.key("baseline_min_s").value(census_plain.min_s);
+    rw.key("overhead_pct").value(overhead_pct);
+    rw.key("journal_records_per_run")
+        .value(static_cast<uint64_t>(kernels.size()));
+    rw.key("journal_records_total").value(journal_records);
+    rw.endObject();
+    ros << '\n';
+    fatal_if(!rw.complete(), "resilience BENCH JSON incomplete");
+    inform("wrote %s", opts.resilience_output.c_str());
+
     bench::emitInstrumentation();
     return 0;
 }
@@ -211,6 +296,8 @@ main(int argc, char **argv)
             continue;
         } else if (intFlag("--warmup=", opts.warmup)) {
             continue;
+        } else if (arg.rfind("--resilience-output=", 0) == 0) {
+            opts.resilience_output = arg.substr(20);
         } else if (arg.rfind("--output=", 0) == 0) {
             opts.output = arg.substr(9);
         } else if (arg == "--test-grid") {
@@ -219,7 +306,8 @@ main(int argc, char **argv)
             std::fprintf(
                 stderr,
                 "usage: bench_runner [--runs=N] [--warmup=N] "
-                "[--output=FILE] [--test-grid]\n");
+                "[--output=FILE] [--resilience-output=FILE] "
+                "[--test-grid]\n");
             return 1;
         }
     }

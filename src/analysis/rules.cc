@@ -52,6 +52,7 @@ allRules()
     rules.push_back(makeLocaleRule());
     rules.push_back(makeNamingRule());
     rules.push_back(makeCensusRule());
+    rules.push_back(makeErrorCodeRule());
     return rules;
 }
 

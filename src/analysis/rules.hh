@@ -2,7 +2,7 @@
  * @file
  * Rule interface and registry for gpuscale-lint.
  *
- * Five rule families keep the repo honest as it grows
+ * Six rule families keep the repo honest as it grows
  * (docs/static_analysis.md describes each in depth):
  *
  *  - layering:    includes must respect the layer order
@@ -23,6 +23,9 @@
  *                 sources must add up to the paper's 267 kernels /
  *                 97 programs, and each suite file's header comment
  *                 must match its actual counts.
+ *  - error-code:  a declared `std::error_code` must be inspected
+ *                 afterwards; a silently dropped error code swallows
+ *                 filesystem failures.
  */
 
 #ifndef GPUSCALE_ANALYSIS_RULES_HH
@@ -78,6 +81,7 @@ std::unique_ptr<Rule> makeConcurrencyRule();
 std::unique_ptr<Rule> makeLocaleRule();
 std::unique_ptr<Rule> makeNamingRule();
 std::unique_ptr<Rule> makeCensusRule();
+std::unique_ptr<Rule> makeErrorCodeRule();
 
 /** Every rule, in documentation order. */
 std::vector<std::unique_ptr<Rule>> allRules();

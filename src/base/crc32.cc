@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CRC-32 implementation (byte-at-a-time table).
+ */
+
+#include "crc32.hh"
+
+#include <array>
+#include <cstring>
+
+namespace gpuscale {
+
+namespace {
+
+std::array<uint32_t, 256>
+buildTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(std::string_view data)
+{
+    static const std::array<uint32_t, 256> table = buildTable();
+    uint32_t crc = 0xFFFFFFFFu;
+    for (char ch : data) {
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+              (crc >> 8);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+uint64_t
+chk64(std::string_view data)
+{
+    // Length folded in up front so "payload" and "payload + zero
+    // tail" cannot collide even though the word loop pads the final
+    // partial word with zeros.
+    uint64_t h = 0x9e3779b97f4a7c15ull ^
+                 (data.size() * 0x100000001b3ull);
+    const char *p = data.data();
+    size_t n = data.size();
+    while (n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, p, 8);
+        h = (h << 7 | h >> 57) ^ w;
+        p += 8;
+        n -= 8;
+    }
+    uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = (h << 7 | h >> 57) ^ tail;
+    return h * 0xff51afd7ed558ccdull;
+}
+
+} // namespace gpuscale

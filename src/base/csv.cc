@@ -91,6 +91,8 @@ parseCsv(std::string_view text)
     std::string field;
     bool in_quotes = false;
     bool field_started = false;
+    size_t line = 1;
+    size_t record_start_line = 1;
 
     auto end_field = [&]() {
         record.push_back(field);
@@ -104,10 +106,12 @@ parseCsv(std::string_view text)
             record.clear();
             return;
         }
-        if (doc.header.empty())
+        if (doc.header.empty()) {
             doc.header = record;
-        else
+        } else {
             doc.rows.push_back(record);
+            doc.row_lines.push_back(record_start_line);
+        }
         record.clear();
     };
 
@@ -122,6 +126,10 @@ parseCsv(std::string_view text)
                     in_quotes = false;
                 }
             } else {
+                // A quoted newline advances the line count but does
+                // not end the record.
+                if (c == '\n')
+                    ++line;
                 field += c;
             }
             continue;
@@ -144,6 +152,8 @@ parseCsv(std::string_view text)
             break;
           case '\n':
             end_record();
+            ++line;
+            record_start_line = line;
             break;
           default:
             field += c;

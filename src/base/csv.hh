@@ -55,6 +55,13 @@ struct CsvDocument {
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
 
+    /**
+     * 1-based source line where each row starts (parallel to rows);
+     * what makes "row 17 is malformed" warnings actionable when a
+     * consumer skips bad rows instead of aborting.
+     */
+    std::vector<size_t> row_lines;
+
     /** Column index for a header name; fatal() if absent. */
     size_t columnIndex(std::string_view name) const;
 };

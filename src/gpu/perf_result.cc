@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shard-result serialization.
+ *
+ * A sweep shard's result — one runtime per grid point — crosses two
+ * persistence boundaries: the disk sweep cache and the census
+ * checkpoint journal.  Both need the identical property: a vector
+ * written on one run and read on another must be *bitwise* the same
+ * doubles, or a resumed/cached census would drift from the golden
+ * data.  Centralizing the codec here means there is exactly one
+ * format to get that right in (shortest-round-trip to_chars via
+ * formatDoubleShortest, parsed back with parseDouble).
+ *
+ * Wire format: "<count>:<v0>,<v1>,..." on a single line; no locale
+ * dependence, no whitespace.
+ */
+
+#include "perf_result.hh"
+
+#include "base/string_util.hh"
+
+namespace gpuscale {
+namespace gpu {
+
+std::string
+serializeRuntimes(const std::vector<double> &runtimes)
+{
+    std::string out = std::to_string(runtimes.size());
+    out += ':';
+    for (size_t i = 0; i < runtimes.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += formatDoubleShortest(runtimes[i]);
+    }
+    return out;
+}
+
+std::optional<std::vector<double>>
+parseRuntimes(std::string_view text)
+{
+    const size_t colon = text.find(':');
+    if (colon == std::string_view::npos)
+        return std::nullopt;
+    const std::optional<double> count =
+        parseDouble(text.substr(0, colon));
+    if (!count || *count < 0 ||
+        *count != static_cast<size_t>(*count))
+        return std::nullopt;
+
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(*count));
+    size_t pos = colon + 1;
+    while (pos < text.size()) {
+        size_t comma = text.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = text.size();
+        const std::optional<double> v =
+            parseDouble(text.substr(pos, comma - pos));
+        if (!v)
+            return std::nullopt;
+        values.push_back(*v);
+        pos = comma + 1;
+    }
+    if (values.size() != static_cast<size_t>(*count))
+        return std::nullopt;
+    return values;
+}
+
+} // namespace gpu
+} // namespace gpuscale

@@ -19,7 +19,7 @@ CensusResult
 runCensus(const gpu::PerfModel &model,
           std::optional<scaling::ConfigSpace> space,
           const scaling::TaxonomyParams &params,
-          obs::ProgressReporter *progress)
+          obs::ProgressReporter *progress, CensusJournal *journal)
 {
     GPUSCALE_TRACE_SCOPE("census");
     CensusResult census{
@@ -31,7 +31,7 @@ runCensus(const gpu::PerfModel &model,
              kernels.size(), census.space.size(),
              model.name().c_str());
     census.surfaces =
-        sweepKernels(model, kernels, census.space, progress);
+        sweepKernels(model, kernels, census.space, progress, journal);
     {
         GPUSCALE_TRACE_SCOPE("census.classify");
         census.classifications =

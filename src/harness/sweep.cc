@@ -15,7 +15,9 @@
 #include <chrono>
 #include <thread>
 
+#include "base/fault.hh"
 #include "base/logging.hh"
+#include "checkpoint.hh"
 #include "gpu/kernel_desc.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
@@ -73,6 +75,10 @@ sweepOne(const gpu::PerfModel &model, const gpu::KernelDesc &kernel,
     SweepMetrics &metrics = SweepMetrics::get();
     GPUSCALE_TRACE_SCOPE("sweep/" + kernel.name);
     metrics.kernels.inc();
+    // Injection site: a Delay fault here slows every kernel sweep
+    // (how the kill/resume tests keep a census mid-flight); Exception
+    // models a crashing worker.
+    faultPoint("sweep.kernel");
 
     std::vector<double> runtimes;
     if (SweepCache::instance().lookup(key, runtimes)) {
@@ -117,7 +123,7 @@ std::vector<scaling::ScalingSurface>
 sweepKernels(const gpu::PerfModel &model,
              const std::vector<const gpu::KernelDesc *> &kernels,
              const scaling::ConfigSpace &space,
-             obs::ProgressReporter *progress)
+             obs::ProgressReporter *progress, CensusJournal *journal)
 {
     for (const auto *kernel : kernels)
         panic_if(kernel == nullptr, "sweepKernels: null kernel");
@@ -151,7 +157,17 @@ sweepKernels(const gpu::PerfModel &model,
         const size_t begin = shard * n / num_shards;
         const size_t end = (shard + 1) * n / num_shards;
         for (size_t k = begin; k < end; ++k) {
+            // Journal first: a replayed kernel skips the sweep (and
+            // the cache) entirely, and is not re-recorded.
+            if (journal != nullptr &&
+                journal->lookup(kernels[k]->name, runtimes[k])) {
+                if (progress != nullptr)
+                    progress->tick();
+                continue;
+            }
             runtimes[k] = sweepOne(model, *kernels[k], grid, keys[k]);
+            if (journal != nullptr)
+                journal->record(kernels[k]->name, runtimes[k]);
             if (progress != nullptr)
                 progress->tick();
         }

@@ -22,6 +22,8 @@ class ProgressReporter;
 } // namespace obs
 namespace harness {
 
+class CensusJournal;
+
 /**
  * Measure one kernel at every grid point — one batched
  * PerfModel::evaluateGrid() call, served from the SweepCache when the
@@ -41,14 +43,20 @@ scaling::ScalingSurface sweepKernel(const gpu::PerfModel &model,
  * Each swept kernel records a "sweep/<name>" trace span and feeds the
  * sweep.estimate.latency histogram (see docs/observability.md).
  *
+ * With a journal (checkpoint.hh), kernels already recorded are
+ * replayed bitwise instead of re-swept, and every freshly computed
+ * kernel is appended — a killed run resumes where it stopped.
+ *
  * @param kernels non-owning kernel pointers; all non-null.
  * @param progress optional reporter ticked once per finished kernel.
+ * @param journal optional checkpoint journal for crash-safe resume.
  */
 std::vector<scaling::ScalingSurface> sweepKernels(
     const gpu::PerfModel &model,
     const std::vector<const gpu::KernelDesc *> &kernels,
     const scaling::ConfigSpace &space,
-    obs::ProgressReporter *progress = nullptr);
+    obs::ProgressReporter *progress = nullptr,
+    CensusJournal *journal = nullptr);
 
 } // namespace harness
 } // namespace gpuscale

@@ -1,6 +1,14 @@
 /**
  * @file
  * SweepCache implementation.
+ *
+ * The disk layer is where real deployments hurt: shared filesystems
+ * time out, files get truncated by full disks, and entries corrupt.
+ * All disk traffic therefore flows through the obs retry policy
+ * (transient failures back off and re-attempt) and then *degrades* —
+ * a read becomes a miss, a write is skipped — with a counted warning,
+ * never an abort.  The sweep_cache.disk.{read,write} fault-injection
+ * sites stand in for the real failures in tests.
  */
 
 #include "sweep_cache.hh"
@@ -10,16 +18,20 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/fault.hh"
 #include "base/logging.hh"
 #include "base/string_util.hh"
+#include "gpu/perf_result.hh"
+#include "obs/fault_telemetry.hh"
 #include "obs/metrics.hh"
+#include "obs/retry.hh"
 
 namespace gpuscale {
 namespace harness {
 
 namespace {
 
-constexpr char kFileMagic[] = "gpuscale-sweep-cache-v1";
+constexpr char kFileMagic[] = "gpuscale-sweep-cache-v2";
 
 /** Cached instrument references for the cache hot path. */
 struct CacheMetrics {
@@ -27,6 +39,9 @@ struct CacheMetrics {
     obs::Counter &misses;
     obs::Counter &disk_hits;
     obs::Counter &disk_writes;
+    obs::Counter &corrupt;
+    obs::Counter &read_degraded;
+    obs::Counter &write_degraded;
     obs::Gauge &entries;
 
     static CacheMetrics &
@@ -43,6 +58,15 @@ struct CacheMetrics {
             obs::Registry::instance().counter(
                 "sweep.cache.disk.writes",
                 "sweep-cache entries persisted to disk"),
+            obs::Registry::instance().counter(
+                "sweep.cache.corrupt",
+                "corrupt disk entries discarded (degraded to miss)"),
+            obs::Registry::instance().counter(
+                "sweep.cache.read.degraded",
+                "disk reads that exhausted retries (served as miss)"),
+            obs::Registry::instance().counter(
+                "sweep.cache.write.degraded",
+                "disk writes that exhausted retries (entry dropped)"),
             obs::Registry::instance().gauge(
                 "sweep.cache.entries", "in-memory sweep-cache entries"),
         };
@@ -66,6 +90,49 @@ appendDouble(std::string &out, double v)
 {
     out += formatDoubleShortest(v);
     out += ';';
+}
+
+/** One disk-read attempt's outcome. */
+enum class ReadResult {
+    Hit,       ///< entry read and verified
+    Miss,      ///< absent, or a filename-hash collision
+    Corrupt,   ///< present but unparseable — deterministic, no retry
+    Transient, ///< I/O failure — retryable
+};
+
+/**
+ * Read and verify one entry file.  Injected I/O faults
+ * (sweep_cache.disk.read) surface as Transient so the retry policy
+ * exercises the same path a flaky filesystem would.
+ */
+ReadResult
+readEntry(const std::string &path, const std::string &key,
+          std::vector<double> &runtimes)
+{
+    if (faultPoint("sweep_cache.disk.read"))
+        return ReadResult::Transient;
+
+    std::ifstream is(path);
+    if (!is)
+        return ReadResult::Miss;
+
+    std::string magic, stored_key, payload;
+    if (!std::getline(is, magic) || magic != kFileMagic)
+        return ReadResult::Corrupt;
+    // The full key is stored and compared, so a 64-bit filename-hash
+    // collision degrades to a miss, never to wrong data.
+    if (!std::getline(is, stored_key))
+        return ReadResult::Corrupt;
+    if (stored_key != key)
+        return ReadResult::Miss;
+    if (!std::getline(is, payload))
+        return ReadResult::Corrupt;
+    std::optional<std::vector<double>> values =
+        gpu::parseRuntimes(payload);
+    if (!values)
+        return ReadResult::Corrupt;
+    runtimes = std::move(*values);
+    return ReadResult::Hit;
 }
 
 } // namespace
@@ -237,36 +304,33 @@ SweepCache::diskLookup(const std::string &key,
     if (path.empty())
         return false;
 
-    std::ifstream is(path);
-    if (!is)
+    CacheMetrics &metrics = CacheMetrics::get();
+    ReadResult result = ReadResult::Miss;
+    const bool settled = obs::retryWithBackoff(
+        obs::retryPolicy(), "sweep-cache disk read", [&] {
+            result = readEntry(path, key, runtimes);
+            return result != ReadResult::Transient;
+        });
+    if (!settled) {
+        // Retries exhausted on transient faults: the entry may be
+        // fine, but a census that waits on a broken disk is worse
+        // than one that recomputes 891 points.
+        metrics.read_degraded.inc();
+        obs::noteDegradation("sweep_cache.disk.read");
         return false;
-
-    std::string magic, stored_key, count_line;
-    if (!std::getline(is, magic) || magic != kFileMagic)
-        return false;
-    // The full key is stored and compared, so a 64-bit filename-hash
-    // collision degrades to a miss, never to wrong data.
-    if (!std::getline(is, stored_key) || stored_key != key)
-        return false;
-    if (!std::getline(is, count_line))
-        return false;
-    const std::optional<double> count = parseDouble(count_line);
-    if (!count || *count < 0)
-        return false;
-
-    std::vector<double> values;
-    values.reserve(static_cast<size_t>(*count));
-    std::string line;
-    while (std::getline(is, line)) {
-        const std::optional<double> v = parseDouble(line);
-        if (!v)
-            return false;
-        values.push_back(*v);
     }
-    if (values.size() != static_cast<size_t>(*count))
+    if (result == ReadResult::Corrupt) {
+        warn("sweep-cache: corrupt entry %s; discarding it",
+             path.c_str());
+        metrics.corrupt.inc();
+        obs::noteDegradation("sweep_cache.corrupt");
+        // Self-heal: the recompute's insert() rewrites the entry;
+        // removing the carcass now keeps a permanently-bad file from
+        // warning on every lookup if that write also fails.
+        std::remove(path.c_str());
         return false;
-    runtimes = std::move(values);
-    return true;
+    }
+    return result == ReadResult::Hit;
 }
 
 void
@@ -277,24 +341,37 @@ SweepCache::diskInsert(const std::string &key,
     if (path.empty())
         return;
 
+    CacheMetrics &metrics = CacheMetrics::get();
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp);
-        if (!os) {
-            warn("sweep-cache: cannot write %s", tmp.c_str());
-            return;
-        }
-        os << kFileMagic << '\n' << key << '\n'
-           << runtimes.size() << '\n';
-        for (const double v : runtimes)
-            os << formatDoubleShortest(v) << '\n';
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        warn("sweep-cache: cannot rename %s", tmp.c_str());
-        std::remove(tmp.c_str());
+    const bool ok = obs::retryWithBackoff(
+        obs::retryPolicy(), "sweep-cache disk write", [&] {
+            if (faultPoint("sweep_cache.disk.write"))
+                return false;
+            {
+                std::ofstream os(tmp);
+                if (!os)
+                    return false;
+                os << kFileMagic << '\n'
+                   << key << '\n'
+                   << gpu::serializeRuntimes(runtimes) << '\n';
+                if (!os)
+                    return false;
+            }
+            if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+                std::remove(tmp.c_str());
+                return false;
+            }
+            return true;
+        });
+    if (!ok) {
+        // The result lives on in memory; only cross-process reuse is
+        // lost.
+        warn("sweep-cache: giving up writing %s", path.c_str());
+        metrics.write_degraded.inc();
+        obs::noteDegradation("sweep_cache.disk.write");
         return;
     }
-    CacheMetrics::get().disk_writes.inc();
+    metrics.disk_writes.inc();
 }
 
 } // namespace harness

@@ -16,8 +16,15 @@
  *    lets a *second CLI invocation* of the same sweep hit.
  *
  * Doubles round-trip exactly through the disk layer
- * (formatDoubleShortest/parseDouble), so a cache hit is bitwise
+ * (gpu::serializeRuntimes / parseRuntimes), so a cache hit is bitwise
  * identical to the recompute it replaced.
+ *
+ * Disk failures never fail a sweep: transient I/O errors retry with
+ * backoff (obs/retry.hh), then degrade — a read becomes a counted
+ * miss, a write is dropped — and corrupt entries are discarded with a
+ * warning (sweep.cache.{corrupt,read.degraded,write.degraded}).  The
+ * sweep_cache.disk.{read,write} fault-injection sites test exactly
+ * these paths (docs/fault_tolerance.md).
  */
 
 #ifndef GPUSCALE_HARNESS_SWEEP_CACHE_HH

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "base/fault.hh"
 #include "base/logging.hh"
 #include "obs/trace.hh"
 
@@ -81,6 +82,15 @@ ThreadPool::runSlot(Task &task, unsigned slot)
             break;
         const size_t end = std::min(begin + task.chunk, task.n);
         try {
+            // Injection site: one probe per dispensed chunk.  An
+            // Exception fault here exercises the capture/rethrow
+            // drain exactly like a crashing work item; an injected
+            // I/O error has no operation to fail, so it degenerates
+            // to the same exception.
+            if (faultPoint("thread_pool.task")) {
+                throw FaultInjectedError(
+                    "injected i/o fault at thread_pool.task");
+            }
             for (size_t i = begin; i < end; ++i) {
                 (*task.fn)(i);
                 ++done;

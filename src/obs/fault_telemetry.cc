@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fault-telemetry bridge implementation.
+ */
+
+#include "fault_telemetry.hh"
+
+#include "base/fault.hh"
+#include "base/logging.hh"
+#include "metrics.hh"
+
+namespace gpuscale {
+namespace obs {
+
+namespace {
+
+/** Cached instrument references for fired faults. */
+struct FaultMetrics {
+    Counter &thrown;
+    Counter &io;
+    Counter &delayed;
+
+    static FaultMetrics &
+    get()
+    {
+        static FaultMetrics m{
+            Registry::instance().counter(
+                "fault.injected.throw",
+                "injected faults fired as exceptions"),
+            Registry::instance().counter(
+                "fault.injected.io",
+                "injected faults fired as I/O errors"),
+            Registry::instance().counter(
+                "fault.injected.delay",
+                "injected faults fired as delays"),
+        };
+        return m;
+    }
+};
+
+void
+countFired(FaultKind kind, const char *site)
+{
+    FaultMetrics &metrics = FaultMetrics::get();
+    switch (kind) {
+      case FaultKind::Exception:
+        metrics.thrown.inc();
+        break;
+      case FaultKind::IoError:
+        metrics.io.inc();
+        break;
+      case FaultKind::Delay:
+        metrics.delayed.inc();
+        break;
+    }
+    debuglog("fault injected at %s (%s)", site,
+             faultKindName(kind).c_str());
+}
+
+Counter &
+degradationEvents()
+{
+    static Counter &counter = Registry::instance().counter(
+        "degradation.events",
+        "permanent failures absorbed by graceful degradation");
+    return counter;
+}
+
+} // namespace
+
+void
+installFaultTelemetry()
+{
+    FaultInjector::instance().setObserver(&countFired);
+}
+
+void
+armFaultsFromEnv()
+{
+    installFaultTelemetry();
+    FaultInjector::instance().armFromEnv();
+}
+
+void
+noteDegradation(const char *what)
+{
+    degradationEvents().inc();
+    debuglog("degraded: %s", what);
+}
+
+uint64_t
+degradationCount()
+{
+    return degradationEvents().value();
+}
+
+} // namespace obs
+} // namespace gpuscale

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Telemetry bridge for the base-layer fault injector, plus the
+ * process-wide degradation ledger.
+ *
+ * base/fault cannot include the metrics registry (layering: base sits
+ * below obs), so the injector exposes an observer hook instead;
+ * installFaultTelemetry() plugs the fault.injected.* counters into it.
+ *
+ * Degradations — operations that failed permanently but were absorbed
+ * (cache read served as a miss, CSV row skipped, checkpoint record
+ * dropped) — are tallied centrally in degradation.events so drivers
+ * can distinguish "clean run" from "completed with degradations" (the
+ * CLI maps the latter to exit code 4).
+ */
+
+#ifndef GPUSCALE_OBS_FAULT_TELEMETRY_HH
+#define GPUSCALE_OBS_FAULT_TELEMETRY_HH
+
+#include <cstdint>
+
+namespace gpuscale {
+namespace obs {
+
+/**
+ * Install the fault.injected.{throw,io,delay} counters as the
+ * injector's observer.  Idempotent; call once at process start (the
+ * CLI and bench mains do) or from any test asserting those metrics.
+ */
+void installFaultTelemetry();
+
+/**
+ * Install telemetry, then arm the injector from GPUSCALE_FAULTS /
+ * GPUSCALE_FAULT_SEED (exits 2 on a malformed plan).  One-call setup
+ * for binaries.
+ */
+void armFaultsFromEnv();
+
+/**
+ * Record one absorbed permanent failure.  `what` names the site for
+ * the debug log; the counter is shared.
+ */
+void noteDegradation(const char *what);
+
+/** Degradations recorded so far in this process. */
+uint64_t degradationCount();
+
+} // namespace obs
+} // namespace gpuscale
+
+#endif // GPUSCALE_OBS_FAULT_TELEMETRY_HH

@@ -5,13 +5,17 @@
 
 #include "report.hh"
 
-#include <cstdlib>
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "base/csv.hh"
+#include "base/fault.hh"
 #include "base/logging.hh"
 #include "base/string_util.hh"
+#include "obs/fault_telemetry.hh"
+#include "obs/metrics.hh"
 
 namespace gpuscale {
 namespace scaling {
@@ -162,22 +166,67 @@ readSurfacesCsv(std::string_view text, gpu::GpuConfig base)
     const size_t col_mem = doc.columnIndex("mem_mhz");
     const size_t col_rt = doc.columnIndex("runtime_s");
 
-    // Locale-independent field parse; atof would read "1,5" as 1
-    // under e.g. de_DE and silently bend the whole grid.
-    auto csvDouble = [](const std::string &field) {
-        const auto v = parseDouble(field);
-        fatal_if(!v, "surface CSV: malformed number '%s'",
-                 field.c_str());
-        return *v;
+    static obs::Counter &rows_skipped =
+        obs::Registry::instance().counter(
+            "csv.rows.skipped",
+            "malformed surface-CSV rows skipped during ingest");
+    const uint64_t skipped_before = rows_skipped.value();
+
+    // One validated row; `line` points back at the source for
+    // warnings.
+    struct GoodRow {
+        const std::vector<std::string> *cells;
+        int cus;
+        double core;
+        double mem;
+        double rt;
+        size_t line;
     };
 
-    // Infer the grid axes from the distinct knob values.
+    // Locale-independent field parse; atof would read "1,5" as 1
+    // under e.g. de_DE and silently bend the whole grid.  Returns
+    // nullopt instead of aborting so one mangled row costs one grid
+    // point, not the whole report.
+    auto csvInt = [](const std::string &field) -> std::optional<int> {
+        const auto v = parseDouble(field);
+        if (!v || *v != static_cast<int>(*v))
+            return std::nullopt;
+        return static_cast<int>(*v);
+    };
+
+    // Single validation pass: a row with any malformed number (or an
+    // injected ingest fault) is skipped with a line-numbered warning
+    // and counted, never silently dropped.
+    std::vector<GoodRow> good;
+    good.reserve(doc.rows.size());
+    for (size_t r = 0; r < doc.rows.size(); ++r) {
+        const auto &row = doc.rows[r];
+        const size_t line = r < doc.row_lines.size()
+                                ? doc.row_lines[r] : r + 2;
+        const auto cus = csvInt(row[col_cus]);
+        const auto core = parseDouble(row[col_core]);
+        const auto mem = parseDouble(row[col_mem]);
+        const auto rt = parseDouble(row[col_rt]);
+        const bool injected = faultPoint("csv.ingest.row");
+        if (injected || !cus || !core || !mem || !rt) {
+            warn("surface CSV line %zu: %s; row skipped", line,
+                 injected ? "injected ingest fault"
+                          : "malformed number");
+            rows_skipped.inc();
+            obs::noteDegradation("csv.ingest.row");
+            continue;
+        }
+        good.push_back({&row, *cus, *core, *mem, *rt, line});
+    }
+
+    // Infer the grid axes from the distinct knob values of the rows
+    // that survived validation.
     std::set<int> cu_set;
     std::set<double> core_set, mem_set;
-    for (const auto &row : doc.rows) {
-        cu_set.insert(std::atoi(row[col_cus].c_str()));
-        core_set.insert(csvDouble(row[col_core]));
-        mem_set.insert(csvDouble(row[col_mem]));
+    for (const auto &g : good) {
+        cu_set.insert(g.cus);
+        core_set.insert(g.core);
+        mem_set.insert(g.mem);
     }
     const ConfigSpace space(
         std::vector<int>(cu_set.begin(), cu_set.end()),
@@ -196,8 +245,8 @@ readSurfacesCsv(std::string_view text, gpu::GpuConfig base)
     std::vector<std::string> order;
     std::map<std::string, std::vector<double>> samples;
     std::map<std::string, size_t> filled;
-    for (const auto &row : doc.rows) {
-        const std::string &kernel = row[col_kernel];
+    for (const auto &g : good) {
+        const std::string &kernel = (*g.cells)[col_kernel];
         auto it = samples.find(kernel);
         if (it == samples.end()) {
             order.push_back(kernel);
@@ -206,25 +255,35 @@ readSurfacesCsv(std::string_view text, gpu::GpuConfig base)
                      .first;
         }
         const size_t flat = space.flatten(
-            axisIndex(space.cuValues(),
-                      std::atoi(row[col_cus].c_str()), "cus"),
-            axisIndex(space.coreClks(), csvDouble(row[col_core]),
-                      "core_mhz"),
-            axisIndex(space.memClks(), csvDouble(row[col_mem]),
-                      "mem_mhz"));
+            axisIndex(space.cuValues(), g.cus, "cus"),
+            axisIndex(space.coreClks(), g.core, "core_mhz"),
+            axisIndex(space.memClks(), g.mem, "mem_mhz"));
         fatal_if(it->second[flat] != 0.0,
                  "surface CSV: duplicate sample for %s at %zu",
                  kernel.c_str(), flat);
-        it->second[flat] = csvDouble(row[col_rt]);
+        it->second[flat] = g.rt;
         ++filled[kernel];
     }
 
+    const uint64_t skipped = rows_skipped.value() - skipped_before;
     std::vector<ScalingSurface> surfaces;
     surfaces.reserve(order.size());
     for (const auto &kernel : order) {
-        fatal_if(filled[kernel] != space.size(),
-                 "surface CSV: kernel %s covers %zu of %zu grid points",
+        if (filled[kernel] != space.size()) {
+            // With skipped rows the hole is explained and the kernel
+            // degrades to "not reported"; without any, the file is
+            // truncated and silently continuing would misattribute
+            // samples.
+            fatal_if(skipped == 0,
+                     "surface CSV: kernel %s covers %zu of %zu grid "
+                     "points",
+                     kernel.c_str(), filled[kernel], space.size());
+            warn("surface CSV: kernel %s covers %zu of %zu grid "
+                 "points after skipped rows; kernel dropped",
                  kernel.c_str(), filled[kernel], space.size());
+            obs::noteDegradation("csv.ingest.kernel");
+            continue;
+        }
         surfaces.emplace_back(kernel, space,
                               std::move(samples[kernel]));
     }

@@ -27,10 +27,24 @@
  *                         invocations of the same sweep hit the cache
  *                         instead of recomputing (sweep.cache.hits in
  *                         the metrics snapshot shows the effect).
+ *   --checkpoint=DIR      journal census shard results under DIR; a
+ *                         rerun after a crash (or kill -9) replays
+ *                         finished shards from the journal and only
+ *                         recomputes the rest.
  *
- * Exit codes: 0 success, 1 runtime failure, 2 unknown command,
- * 3 bad arguments — scripted drivers can tell a typo'd subcommand
- * from a malformed invocation.
+ * Fault-tolerance environment (see docs/fault_tolerance.md):
+ *   GPUSCALE_FAULTS       seeded fault-injection plan
+ *                         ("site:rate[:kind[:delay_ms]],...")
+ *   GPUSCALE_FAULT_SEED   RNG seed for the plan (default 0)
+ *   GPUSCALE_RETRY        retry policy "attempts[:base_ms[:max_ms]]"
+ *
+ * Exit codes: 0 success, 1 runtime failure, 2 unknown command or
+ * malformed GPUSCALE_FAULTS plan, 3 bad arguments, 4 success but
+ * degraded (faults were absorbed — cache misses, skipped CSV rows,
+ * or checkpoint records lost; degradation.events in the metrics
+ * snapshot counts them) — scripted drivers can tell a typo'd
+ * subcommand from a malformed invocation from a lossy-but-complete
+ * run.
  */
 
 #include <cstdio>
@@ -41,16 +55,20 @@
 #include <string>
 #include <vector>
 
+#include "base/fault.hh"
 #include "base/logging.hh"
 #include "base/math_util.hh"
 #include "base/plot.hh"
 #include "base/string_util.hh"
 #include "gpu/analytic_model.hh"
+#include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
 #include "harness/noise.hh"
 #include "harness/sweep_cache.hh"
+#include "obs/fault_telemetry.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
+#include "obs/retry.hh"
 #include "obs/run_manifest.hh"
 #include "obs/trace.hh"
 #include "scaling/report.hh"
@@ -65,12 +83,14 @@ constexpr int kExitOk = 0;
 constexpr int kExitFailure = 1;
 constexpr int kExitUnknownCommand = 2;
 constexpr int kExitBadArguments = 3;
+constexpr int kExitDegraded = 4;
 
 /** Telemetry switches shared by every subcommand. */
 struct CliOptions {
     std::string trace_file;
     std::string metrics_file;
     std::string sweep_cache_dir;
+    std::string checkpoint_dir;
     bool progress = false;
 };
 
@@ -91,10 +111,31 @@ runCensusCmd(double sigma, const CliOptions &opts,
                                    .allKernels().size();
     obs::ProgressReporter progress("census", num_kernels,
                                    opts.progress);
+
+    // The journal pins the exact model and grid it was written
+    // against; pass the grid explicitly so both runCensus and the
+    // journal header agree on the fingerprint.
+    const auto space = scaling::ConfigSpace::paperGrid();
+    std::optional<harness::CensusJournal> journal;
+    if (!opts.checkpoint_dir.empty()) {
+        journal.emplace(opts.checkpoint_dir, model.fingerprint(),
+                        space.grid().fingerprint());
+        if (journal->loadedRecords() > 0) {
+            inform("checkpoint: replaying %zu finished shards from %s",
+                   journal->loadedRecords(), journal->path().c_str());
+        }
+    }
+
     const auto census =
-        harness::runCensus(model, std::nullopt,
-                           scaling::TaxonomyParams{}, &progress);
+        harness::runCensus(model, space, scaling::TaxonomyParams{},
+                           &progress,
+                           journal ? &*journal : nullptr);
     progress.finish();
+    if (journal) {
+        // One fsync at the quiescent point buys power-loss
+        // durability for the whole journal.
+        journal->sync();
+    }
 
     std::fputs(scaling::classHistogramTable(census.classifications)
                    .render().c_str(),
@@ -107,11 +148,25 @@ runCensusCmd(double sigma, const CliOptions &opts,
         stdout);
 
     const std::string report_path = "classifications.csv";
-    std::ofstream os(report_path);
-    fatal_if(!os, "cannot write %s", report_path.c_str());
-    scaling::writeClassificationsCsv(os, census.classifications);
-    inform("wrote %s (%zu rows)", report_path.c_str(),
-           census.classifications.size());
+    const bool wrote_report = obs::retryWithBackoff(
+        obs::retryPolicy(), "classifications.csv write", [&]() {
+            if (faultPoint("cli.report.write"))
+                return false;
+            std::ofstream os(report_path);
+            if (!os)
+                return false;
+            scaling::writeClassificationsCsv(os,
+                                             census.classifications);
+            return os.good();
+        });
+    if (wrote_report) {
+        inform("wrote %s (%zu rows)", report_path.c_str(),
+               census.classifications.size());
+    } else {
+        warn("cannot write %s; census results shown above only",
+             report_path.c_str());
+        obs::noteDegradation("cli.report.write");
+    }
 
     obs::RunManifest manifest = harness::censusManifest(census, model);
     manifest.argv = argv_record;
@@ -214,8 +269,12 @@ usage()
         "  --metrics=FILE       metrics-registry JSON snapshot\n"
         "  --progress           live sweep progress on stderr\n"
         "  --sweep-cache=DIR    persistent sweep cache directory\n"
+        "  --checkpoint=DIR     crash-safe census journal directory\n"
+        "env: GPUSCALE_FAULTS, GPUSCALE_FAULT_SEED, GPUSCALE_RETRY "
+        "(see docs/fault_tolerance.md)\n"
         "exit codes: 0 ok, 1 failure, 2 unknown command, "
-        "3 bad arguments\n");
+        "3 bad arguments,\n"
+        "            4 ok but degraded (absorbed faults)\n");
 }
 
 /** Write the metrics snapshot and print the table (--metrics). */
@@ -236,6 +295,10 @@ emitMetrics(const std::string &path)
 int
 main(int argc, char **argv)
 {
+    // Arm before anything probes a fault point; a malformed
+    // GPUSCALE_FAULTS plan exits 2 in here.
+    obs::armFaultsFromEnv();
+
     CliOptions opts;
     std::vector<std::string> args;
     std::vector<std::string> argv_record;
@@ -248,6 +311,8 @@ main(int argc, char **argv)
             opts.metrics_file = arg.substr(10);
         } else if (arg.rfind("--sweep-cache=", 0) == 0) {
             opts.sweep_cache_dir = arg.substr(14);
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            opts.checkpoint_dir = arg.substr(13);
         } else if (arg == "--progress") {
             opts.progress = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -316,6 +381,12 @@ main(int argc, char **argv)
     if (!opts.trace_file.empty()) {
         const size_t spans = obs::TraceSession::stop();
         inform("wrote %s (%zu spans)", opts.trace_file.c_str(), spans);
+    }
+    if (rc == kExitOk && obs::degradationCount() > 0) {
+        warn("run completed with %llu degradation(s); exiting %d",
+             static_cast<unsigned long long>(obs::degradationCount()),
+             kExitDegraded);
+        rc = kExitDegraded;
     }
     return rc;
 }

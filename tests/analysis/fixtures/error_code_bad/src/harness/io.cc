@@ -1,0 +1,21 @@
+/** Fixture: error codes handed to filesystem calls and dropped. */
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+void
+makeDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    // ec is never looked at again: the failure vanishes.
+}
+
+void
+dropFile(const std::string &path)
+{
+    std::error_code rc;
+    std::filesystem::remove(path, rc);
+}
+
+// A comment mentioning std::error_code cmt; must not count.

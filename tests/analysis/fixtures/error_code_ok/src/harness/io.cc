@@ -1,0 +1,63 @@
+/** Fixture: every declared error code is inspected (or allowed). */
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+void fatal_if(bool cond, const char *fmt, ...);
+
+void
+makeDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    fatal_if(ec, "cannot create %s", dir.c_str());
+}
+
+bool
+probe(const std::string &path)
+{
+    std::error_code probe_ec;
+    const bool exists = std::filesystem::exists(path, probe_ec);
+    if (probe_ec)
+        return false;
+    return exists;
+}
+
+std::string
+describe(const std::string &path)
+{
+    std::error_code msg_ec;
+    std::filesystem::file_size(path, msg_ec);
+    return msg_ec.message();
+}
+
+bool
+negated(const std::string &path)
+{
+    std::error_code neg_ec;
+    std::filesystem::remove(path, neg_ec);
+    return !neg_ec;
+}
+
+std::error_code
+forwarded(const std::string &path)
+{
+    std::error_code fwd_ec;
+    std::filesystem::remove(path, fwd_ec);
+    return fwd_ec;
+}
+
+// A reference out-parameter is the caller's value, not a finding.
+void
+outParam(const std::string &path, std::error_code &out)
+{
+    std::filesystem::remove(path, out);
+}
+
+void
+bestEffortCleanup(const std::string &tmp)
+{
+    // gpuscale-lint: allow(error-code): fire-and-forget temp cleanup
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Error-code rule tests: dropped std::error_code declarations are
+ * flagged; inspected, forwarded, out-parameter, and allow()ed ones
+ * are not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis_test_util.hh"
+
+namespace {
+
+using namespace gpuscale::analysis;
+using namespace gpuscale::analysis::test;
+
+TEST(RuleErrorCode, FlagsDroppedErrorCodes)
+{
+    const auto repo = loadFixture("error_code_bad");
+    const auto report = runRule(*makeErrorCodeRule(), repo);
+
+    // The two fire-and-forget declarations ('ec' and 'rc'); the
+    // comment mentioning std::error_code must not count.
+    EXPECT_EQ(findingCount(report, "error-code"), 2u)
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "'ec'")) << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "'rc'")) << report.render();
+}
+
+TEST(RuleErrorCode, InspectedUsesAreClean)
+{
+    const auto repo = loadFixture("error_code_ok");
+    const auto report = runRule(*makeErrorCodeRule(), repo);
+
+    // fatal_if(ec, ...), if (ec), ec.message(), !ec, return ec, a
+    // reference out-parameter, and a suppressed fire-and-forget: no
+    // findings.
+    EXPECT_EQ(findingCount(report, "error-code"), 0u)
+        << report.render();
+}
+
+} // namespace

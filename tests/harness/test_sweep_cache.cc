@@ -23,6 +23,7 @@
 #include "harness/sweep_cache.hh"
 #include "obs/metrics.hh"
 #include "scaling/config_space.hh"
+#include "support/temp_dir.hh"
 #include "workloads/archetypes.hh"
 #include "workloads/registry.hh"
 
@@ -161,11 +162,8 @@ TEST_F(SweepCacheTest, RepeatSweepHitsAndReturnsIdenticalRuntimes)
 
 TEST_F(SweepCacheTest, DiskLayerSurvivesInMemoryClear)
 {
-    const std::string dir =
-        ::testing::TempDir() + "/sweep_cache_disk_test";
-    // TempDir() survives across runs; start from an empty cache dir.
-    std::filesystem::remove_all(dir);
-    harness::SweepCache::instance().setDirectory(dir);
+    const test::ScopedTempDir dir("sweep_cache_disk_test");
+    harness::SweepCache::instance().setDirectory(dir.path());
 
     const gpu::AnalyticModel model;
     const auto space = scaling::ConfigSpace::testGrid();
@@ -190,10 +188,8 @@ TEST_F(SweepCacheTest, DiskLayerSurvivesInMemoryClear)
 
 TEST_F(SweepCacheTest, CorruptDiskEntryDegradesToMiss)
 {
-    const std::string dir =
-        ::testing::TempDir() + "/sweep_cache_corrupt_test";
-    std::filesystem::remove_all(dir);
-    harness::SweepCache::instance().setDirectory(dir);
+    const test::ScopedTempDir dir("sweep_cache_corrupt_test");
+    harness::SweepCache::instance().setDirectory(dir.path());
 
     const gpu::AnalyticModel model;
     const auto space = scaling::ConfigSpace::testGrid();
@@ -206,7 +202,7 @@ TEST_F(SweepCacheTest, CorruptDiskEntryDegradesToMiss)
     // Truncate every cache file, then force re-reads from disk.
     size_t truncated = 0;
     for (const auto &entry :
-         std::filesystem::directory_iterator(dir)) {
+         std::filesystem::directory_iterator(dir.path())) {
         std::ofstream os(entry.path(), std::ios::trunc);
         ++truncated;
     }

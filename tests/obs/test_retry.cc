@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Retry-with-backoff tests: attempt accounting, exhaustion, metric
+ * deltas, and exception transparency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/metrics.hh"
+#include "obs/retry.hh"
+
+namespace gpuscale {
+namespace {
+
+uint64_t
+counterValue(const char *name)
+{
+    return obs::Registry::instance().counter(name).value();
+}
+
+obs::RetryPolicy
+fastPolicy(int attempts)
+{
+    obs::RetryPolicy policy;
+    policy.max_attempts = attempts;
+    policy.base_backoff_ms = 0.0;
+    policy.max_backoff_ms = 0.0;
+    return policy;
+}
+
+TEST(Retry, FirstTrySuccessMakesOneAttemptAndNoRetryMetrics)
+{
+    const uint64_t attempts0 = counterValue("retry.attempts");
+    const uint64_t exhausted0 = counterValue("retry.exhausted");
+
+    int calls = 0;
+    EXPECT_TRUE(obs::retryWithBackoff(fastPolicy(3), "test-op",
+                                      [&] { return ++calls > 0; }));
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(counterValue("retry.attempts"), attempts0);
+    EXPECT_EQ(counterValue("retry.exhausted"), exhausted0);
+}
+
+TEST(Retry, TransientFailureSucceedsAfterRetries)
+{
+    const uint64_t attempts0 = counterValue("retry.attempts");
+    const uint64_t exhausted0 = counterValue("retry.exhausted");
+
+    int calls = 0;
+    EXPECT_TRUE(obs::retryWithBackoff(fastPolicy(3), "test-op",
+                                      [&] { return ++calls >= 3; }));
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(counterValue("retry.attempts"), attempts0 + 2);
+    EXPECT_EQ(counterValue("retry.exhausted"), exhausted0);
+}
+
+TEST(Retry, ExhaustionReturnsFalseAndCounts)
+{
+    const uint64_t exhausted0 = counterValue("retry.exhausted");
+
+    int calls = 0;
+    EXPECT_FALSE(obs::retryWithBackoff(fastPolicy(3), "test-op", [&] {
+        ++calls;
+        return false;
+    }));
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(counterValue("retry.exhausted"), exhausted0 + 1);
+}
+
+TEST(Retry, SingleAttemptPolicyNeverRetries)
+{
+    const uint64_t attempts0 = counterValue("retry.attempts");
+
+    int calls = 0;
+    EXPECT_FALSE(obs::retryWithBackoff(fastPolicy(1), "test-op", [&] {
+        ++calls;
+        return false;
+    }));
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(counterValue("retry.attempts"), attempts0);
+}
+
+TEST(Retry, ExceptionsPropagateImmediately)
+{
+    int calls = 0;
+    EXPECT_THROW(obs::retryWithBackoff(fastPolicy(3), "test-op",
+                                       [&]() -> bool {
+                                           ++calls;
+                                           throw std::runtime_error(
+                                               "not transient");
+                                       }),
+                 std::runtime_error);
+    // A throwing operation is a crash under test, not a transient:
+    // exactly one call, no retry loop.
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, ProcessPolicyIsOverridable)
+{
+    const obs::RetryPolicy saved = obs::retryPolicy();
+    obs::RetryPolicy one = saved;
+    one.max_attempts = 1;
+    obs::setRetryPolicy(one);
+    EXPECT_EQ(obs::retryPolicy().max_attempts, 1);
+    obs::setRetryPolicy(saved);
+    EXPECT_EQ(obs::retryPolicy().max_attempts, saved.max_attempts);
+}
+
+} // namespace
+} // namespace gpuscale
