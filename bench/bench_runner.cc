@@ -12,8 +12,13 @@
  * and emits BENCH_resilience.json; the journal's write overhead vs
  * the unjournaled run is the resilience perf gate (<= 5%).
  *
+ * Also times the hot sweep with the sharded telemetry instruments
+ * quiesced vs recording and emits BENCH_telemetry.json; the recording
+ * overhead is the instrumentation perf gate (<= 2%).
+ *
  * Usage: bench_runner [--runs=N] [--warmup=N] [--output=FILE]
- *                     [--resilience-output=FILE] [--test-grid]
+ *                     [--resilience-output=FILE]
+ *                     [--telemetry-output=FILE] [--test-grid]
  *
  * --test-grid shrinks the sweep to the 27-point grid so smoke jobs
  * stay fast; the emitted JSON records which grid ran.
@@ -38,6 +43,7 @@
 #include "harness/sweep_cache.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/sharded.hh"
 #include "workloads/registry.hh"
 
 namespace {
@@ -49,6 +55,7 @@ struct RunnerOptions {
     int warmup = 1;
     std::string output = "BENCH_census.json";
     std::string resilience_output = "BENCH_resilience.json";
+    std::string telemetry_output = "BENCH_telemetry.json";
     bool test_grid = false;
 };
 
@@ -235,7 +242,7 @@ run(const RunnerOptions &opts)
     w.key("metrics");
     w.beginObject();
     w.key("sweep.estimates.count").value(static_cast<uint64_t>(
-        registry.counter("sweep.estimates.count").value()));
+        registry.shardedCounter("sweep.estimates.count").value()));
     w.key("sweep.cache.hits").value(static_cast<uint64_t>(
         registry.counter("sweep.cache.hits").value()));
     w.key("sweep.cache.misses").value(static_cast<uint64_t>(
@@ -268,6 +275,69 @@ run(const RunnerOptions &opts)
     fatal_if(!rw.complete(), "resilience BENCH JSON incomplete");
     inform("wrote %s", opts.resilience_output.c_str());
 
+    //
+    // 5. Telemetry gate: the same hot sweep with the sharded
+    //    instruments quiesced (inc()/record() return after one
+    //    relaxed load — the zero-cost baseline) vs fully recording.
+    //    The recording overhead must stay <= 2%.
+    //
+    obs::Registry::setQuiesced(true);
+    const bench::TimingStats quiesced =
+        bench::minOfN(opts.warmup, opts.runs, [&] {
+            harness::SweepCache::instance().clear();
+            const auto surfaces =
+                harness::sweepKernels(model, kernels, space);
+            fatal_if(surfaces.size() != kernels.size(),
+                     "quiesced census produced %zu surfaces",
+                     surfaces.size());
+        });
+    obs::Registry::setQuiesced(false);
+    const bench::TimingStats instrumented =
+        bench::minOfN(opts.warmup, opts.runs, [&] {
+            harness::SweepCache::instance().clear();
+            const auto surfaces =
+                harness::sweepKernels(model, kernels, space);
+            fatal_if(surfaces.size() != kernels.size(),
+                     "instrumented census produced %zu surfaces",
+                     surfaces.size());
+        });
+    const double telemetry_overhead_pct =
+        quiesced.min_s > 0
+            ? (instrumented.min_s / quiesced.min_s - 1.0) * 100.0
+            : 0.0;
+    std::printf("census (quiesced):       %.4f s min-of-%d\n",
+                quiesced.min_s, quiesced.runs);
+    std::printf("census (instrumented):   %.4f s min-of-%d "
+                "(telemetry overhead %+.2f%%)\n",
+                instrumented.min_s, instrumented.runs,
+                telemetry_overhead_pct);
+
+    const auto shard_values =
+        registry.shardedCounter("sweep.estimates.count").shardValues();
+    std::ofstream tos(opts.telemetry_output);
+    fatal_if(!tos, "cannot write %s", opts.telemetry_output.c_str());
+    obs::JsonWriter tw(tos);
+    tw.beginObject();
+    tw.key("schema_version").value(1);
+    tw.key("benchmark").value("telemetry");
+    tw.key("grid").value(opts.test_grid ? "test" : "paper");
+    tw.key("threads").value(static_cast<uint64_t>(threads));
+    tw.key("shard_count")
+        .value(static_cast<uint64_t>(obs::shardCount()));
+    tw.key("quiesced");
+    writeTiming(tw, quiesced, estimates);
+    tw.key("instrumented");
+    writeTiming(tw, instrumented, estimates);
+    tw.key("overhead_pct").value(telemetry_overhead_pct);
+    tw.key("shard_values").beginArray();
+    for (const uint64_t v : shard_values)
+        tw.value(v);
+    tw.endArray();
+    tw.endObject();
+    tos << '\n';
+    fatal_if(!tw.complete(), "telemetry BENCH JSON incomplete");
+    inform("wrote %s", opts.telemetry_output.c_str());
+
     bench::emitInstrumentation();
     return 0;
 }
@@ -298,6 +368,8 @@ main(int argc, char **argv)
             continue;
         } else if (arg.rfind("--resilience-output=", 0) == 0) {
             opts.resilience_output = arg.substr(20);
+        } else if (arg.rfind("--telemetry-output=", 0) == 0) {
+            opts.telemetry_output = arg.substr(19);
         } else if (arg.rfind("--output=", 0) == 0) {
             opts.output = arg.substr(9);
         } else if (arg == "--test-grid") {
@@ -307,7 +379,7 @@ main(int argc, char **argv)
                 stderr,
                 "usage: bench_runner [--runs=N] [--warmup=N] "
                 "[--output=FILE] [--resilience-output=FILE] "
-                "[--test-grid]\n");
+                "[--telemetry-output=FILE] [--test-grid]\n");
             return 1;
         }
     }

@@ -53,6 +53,7 @@ allRules()
     rules.push_back(makeNamingRule());
     rules.push_back(makeCensusRule());
     rules.push_back(makeErrorCodeRule());
+    rules.push_back(makeDescriptionRule());
     return rules;
 }
 

@@ -2,7 +2,7 @@
  * @file
  * Rule interface and registry for gpuscale-lint.
  *
- * Six rule families keep the repo honest as it grows
+ * Seven rule families keep the repo honest as it grows
  * (docs/static_analysis.md describes each in depth):
  *
  *  - layering:    includes must respect the layer order
@@ -26,6 +26,10 @@
  *  - error-code:  a declared `std::error_code` must be inspected
  *                 afterwards; a silently dropped error code swallows
  *                 filesystem failures.
+ *  - description: instruments registered via counter()/gauge()/
+ *                 histogram() (and the sharded variants) must carry a
+ *                 non-empty description — it becomes the "# HELP"
+ *                 line and the metrics-table entry operators read.
  */
 
 #ifndef GPUSCALE_ANALYSIS_RULES_HH
@@ -82,6 +86,7 @@ std::unique_ptr<Rule> makeLocaleRule();
 std::unique_ptr<Rule> makeNamingRule();
 std::unique_ptr<Rule> makeCensusRule();
 std::unique_ptr<Rule> makeErrorCodeRule();
+std::unique_ptr<Rule> makeDescriptionRule();
 
 /** Every rule, in documentation order. */
 std::vector<std::unique_ptr<Rule>> allRules();

@@ -20,6 +20,7 @@
 #include "base/logging.hh"
 #include "base/string_util.hh"
 #include "obs/metrics.hh"
+#include "obs/sharded.hh"
 #include "cache_model.hh"
 #include "dispatch.hh"
 #include "gpu_config.hh"
@@ -332,8 +333,8 @@ KernelPerf
 AnalyticModel::estimate(const KernelDesc &kernel,
                         const GpuConfig &cfg) const
 {
-    static obs::Counter &evaluations =
-        obs::Registry::instance().counter(
+    static obs::ShardedCounter &evaluations =
+        obs::Registry::instance().shardedCounter(
             "model.analytic.estimates",
             "analytic-model evaluations");
     evaluations.inc();
@@ -356,12 +357,12 @@ std::vector<KernelPerf>
 AnalyticModel::evaluateGrid(const KernelDesc &kernel,
                             const ConfigGrid &grid) const
 {
-    static obs::Counter &evaluations =
-        obs::Registry::instance().counter(
+    static obs::ShardedCounter &evaluations =
+        obs::Registry::instance().shardedCounter(
             "model.analytic.estimates",
             "analytic-model evaluations");
-    static obs::Counter &batches =
-        obs::Registry::instance().counter(
+    static obs::ShardedCounter &batches =
+        obs::Registry::instance().shardedCounter(
             "model.analytic.grid.batches",
             "batched grid evaluations");
     evaluations.inc(grid.size());

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -43,6 +44,7 @@ struct CheckpointMetrics {
     obs::Counter &records;
     obs::Counter &replayed;
     obs::Counter &corrupt;
+    obs::Histogram &flush_latency;
 
     static CheckpointMetrics &
     get()
@@ -57,6 +59,9 @@ struct CheckpointMetrics {
             obs::Registry::instance().counter(
                 "checkpoint.corrupt",
                 "journal records discarded by CRC or parse failure"),
+            obs::Registry::instance().histogram(
+                "checkpoint.flush.latency",
+                "seconds per journal buffer flush to disk"),
         };
         return m;
     }
@@ -320,6 +325,7 @@ CensusJournal::record(const std::string &kernel,
 void
 CensusJournal::flushLocked()
 {
+    const auto t0 = std::chrono::steady_clock::now();
     size_t off = 0;
     while (off < pending_.size()) {
         const ssize_t n = ::write(fd_, pending_.data() + off,
@@ -334,6 +340,10 @@ CensusJournal::flushLocked()
         off += static_cast<size_t>(n);
     }
     pending_.clear();
+    CheckpointMetrics::get().flush_latency.record(
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
 }
 
 void

@@ -21,6 +21,7 @@
 #include "gpu/kernel_desc.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
+#include "obs/sharded.hh"
 #include "obs/trace.hh"
 #include "parallel.hh"
 #include "sweep_cache.hh"
@@ -30,30 +31,35 @@ namespace harness {
 
 namespace {
 
-/** Cached instrument references for the estimate hot loop. */
+/**
+ * Cached instrument references for the estimate hot loop.  The
+ * instruments every worker updates per kernel or per estimate are
+ * sharded (obs/sharded.hh) so pool workers never contend on a shared
+ * cache line; the once-per-call shard-count gauge stays plain.
+ */
 struct SweepMetrics {
-    obs::Counter &estimates;
-    obs::Counter &kernels;
-    obs::Histogram &latency;
+    obs::ShardedCounter &estimates;
+    obs::ShardedCounter &kernels;
+    obs::ShardedHistogram &latency;
     obs::Gauge &shards;
-    obs::Histogram &shard_latency;
+    obs::ShardedHistogram &shard_latency;
 
     static SweepMetrics &
     get()
     {
         static SweepMetrics m{
-            obs::Registry::instance().counter(
+            obs::Registry::instance().shardedCounter(
                 "sweep.estimates.count",
                 "model estimates issued by the sweep harness"),
-            obs::Registry::instance().counter(
+            obs::Registry::instance().shardedCounter(
                 "sweep.kernels.count", "kernels swept"),
-            obs::Registry::instance().histogram(
+            obs::Registry::instance().shardedHistogram(
                 "sweep.estimate.latency",
                 "seconds per model estimate"),
             obs::Registry::instance().gauge(
                 "census.shard.count",
                 "kernel shards in the last sweepKernels call"),
-            obs::Registry::instance().histogram(
+            obs::Registry::instance().shardedHistogram(
                 "census.shard.latency",
                 "seconds per kernel shard"),
         };

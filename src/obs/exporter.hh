@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Periodic metrics exporter: a background flusher appending the
+ * registry's values as a JSONL time series.
+ *
+ * Each tick appends one line:
+ *
+ *   {"ts_ms":<wall-clock ms>,"seq":N,
+ *    "counters":{name:delta,...},      // change since previous line
+ *    "gauges":{name:value,...},        // absolute
+ *    "histograms":{name:{count:delta,mean,p50,p90,p99},...}}
+ *
+ * Counters and histogram counts are exported as deltas so each line
+ * is a self-contained rate sample; gauges and percentile statistics
+ * are instantaneous.  Deltas are computed by round-tripping the
+ * registry's own JSON snapshot through obs::parseJson — the same
+ * locale-safe serialize/parse pair every other artifact uses, so the
+ * exporter doubles as a continuous round-trip check on it.
+ *
+ * The interval comes from --metrics-interval=MS on the CLI or the
+ * GPUSCALE_METRICS_INTERVAL environment variable.  stop() performs a
+ * final flush so short runs still produce at least one line.
+ */
+
+#ifndef GPUSCALE_OBS_EXPORTER_HH
+#define GPUSCALE_OBS_EXPORTER_HH
+
+#include <string>
+
+namespace gpuscale {
+namespace obs {
+
+class MetricsExporter
+{
+  public:
+    /**
+     * Start the background flusher appending to `path` every
+     * `interval_ms` milliseconds.  Returns false (with a warning) if
+     * the file cannot be opened or an exporter is already running.
+     */
+    static bool start(const std::string &path, unsigned interval_ms);
+
+    /** True while the flusher thread is running. */
+    static bool active();
+
+    /**
+     * Synchronously append one line now (also what the background
+     * thread calls each tick).  No-op unless the exporter started.
+     * Exposed so tests can drive ticks deterministically.
+     */
+    static void flushNow();
+
+    /** Final flush, then join and shut down the flusher. */
+    static void stop();
+};
+
+} // namespace obs
+} // namespace gpuscale
+
+#endif // GPUSCALE_OBS_EXPORTER_HH

@@ -7,6 +7,7 @@
 
 #include "base/fault.hh"
 #include "base/logging.hh"
+#include "flight_recorder.hh"
 #include "metrics.hh"
 
 namespace gpuscale {
@@ -55,6 +56,7 @@ countFired(FaultKind kind, const char *site)
     }
     debuglog("fault injected at %s (%s)", site,
              faultKindName(kind).c_str());
+    FlightRecorder::record("fault", site, faultKindName(kind));
 }
 
 Counter &
@@ -86,6 +88,7 @@ noteDegradation(const char *what)
 {
     degradationEvents().inc();
     debuglog("degraded: %s", what);
+    FlightRecorder::record("degradation", what);
 }
 
 uint64_t

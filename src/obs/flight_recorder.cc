@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Flight recorder implementation: mmap-backed ring, crash-time JSON
+ * rendering, and the post-mortem ring-file reader.
+ */
+
+#include "flight_recorder.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "json.hh"
+#include "trace.hh"
+
+namespace gpuscale {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_flight_active{false};
+
+} // namespace detail
+
+namespace {
+
+constexpr char kRingMagic[8] = {'G', 'P', 'U', 'S',
+                                'F', 'R', '0', '1'};
+
+/** File header at offset 0 of the ring file. */
+struct RingHeader {
+    char magic[8];
+    uint64_t slot_count;
+    /** Next 1-based sequence number to hand out. */
+    std::atomic<uint64_t> next_seq;
+    uint64_t reserved;
+};
+
+/**
+ * One ring slot.  A writer stamps seq_open, fills the payload, then
+ * stamps seq_commit; a reader accepts the slot only when both stamps
+ * agree and are nonzero, so a slot torn by a crash or a concurrent
+ * rewrite is silently skipped.
+ */
+struct RingSlot {
+    std::atomic<uint64_t> seq_open;
+    std::atomic<uint64_t> seq_commit;
+    uint64_t ts_us;
+    uint64_t dur_us;
+    char kind[FlightRecorder::kKindBytes];
+    char name[FlightRecorder::kNameBytes];
+    char detail[FlightRecorder::kDetailBytes];
+};
+
+RingHeader *g_header = nullptr;
+RingSlot *g_slots = nullptr;
+size_t g_map_bytes = 0;
+
+/** Crash-dump destination; fixed storage so the handler needs no
+ * allocation.  Empty first byte means no dump path installed. */
+char g_dump_path[4096] = {0};
+
+size_t
+ringBytes(size_t slots)
+{
+    return sizeof(RingHeader) + slots * sizeof(RingSlot);
+}
+
+/**
+ * Copy `src` into a fixed slot field, truncating and replacing every
+ * character outside a JSON-safe telemetry charset with '_' so dumps
+ * never need escaping (the signal handler cannot afford any).
+ */
+template <size_t N>
+void
+sanitizeInto(char (&dst)[N], const std::string &src)
+{
+    size_t n = 0;
+    for (const char c : src) {
+        if (n == N - 1)
+            break;
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '/' || c == '-' ||
+                        c == ':' || c == '=' || c == ' ';
+        dst[n++] = ok ? c : '_';
+    }
+    dst[n] = '\0';
+}
+
+/** A decoded, validated slot ready for rendering. */
+struct Event {
+    uint64_t seq;
+    uint64_t ts_us;
+    uint64_t dur_us;
+    std::string kind;
+    std::string name;
+    std::string detail;
+};
+
+/** Decode committed slots (torn ones skipped), oldest first. */
+std::vector<Event>
+collectEvents(const RingHeader *header, const RingSlot *slots)
+{
+    std::vector<Event> events;
+    for (uint64_t i = 0; i < header->slot_count; ++i) {
+        const RingSlot &s = slots[i];
+        const uint64_t commit =
+            s.seq_commit.load(std::memory_order_acquire);
+        if (commit == 0)
+            continue;
+        Event e;
+        e.seq = commit;
+        e.ts_us = s.ts_us;
+        e.dur_us = s.dur_us;
+        e.kind.assign(s.kind,
+                      strnlen(s.kind, FlightRecorder::kKindBytes));
+        e.name.assign(s.name,
+                      strnlen(s.name, FlightRecorder::kNameBytes));
+        e.detail.assign(
+            s.detail, strnlen(s.detail, FlightRecorder::kDetailBytes));
+        if (s.seq_open.load(std::memory_order_relaxed) != commit)
+            continue; // Torn: writer was mid-overwrite.
+        events.push_back(std::move(e));
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.seq < b.seq;
+              });
+    return events;
+}
+
+/** Render the black-box document with the normal JSON writer. */
+std::string
+renderEvents(const std::vector<Event> &events,
+             const std::string &reason)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("reason").value(reason);
+    w.key("events").beginArray();
+    for (const Event &e : events) {
+        w.beginObject();
+        w.key("seq").value(e.seq);
+        w.key("ts_us").value(e.ts_us);
+        w.key("dur_us").value(e.dur_us);
+        w.key("kind").value(e.kind);
+        w.key("name").value(e.name);
+        w.key("detail").value(e.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+/** write() the whole buffer, tolerating short writes. */
+void
+writeAll(int fd, const char *buf, size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::write(fd, buf, len);
+        if (n <= 0)
+            return;
+        buf += n;
+        len -= static_cast<size_t>(n);
+    }
+}
+
+/**
+ * Async-signal-safe black-box dump: only open/write/snprintf over the
+ * already-sanitized slot text, no allocation, no locks.
+ */
+void
+signalSafeDump(const char *path, const char *reason)
+{
+    if (g_header == nullptr)
+        return;
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return;
+
+    char buf[512];
+    int n = std::snprintf(buf, sizeof(buf),
+                          "{\"reason\":\"%s\",\"events\":[", reason);
+    writeAll(fd, buf, static_cast<size_t>(n));
+
+    // Emit slots in sequence order by scanning for the next-smallest
+    // committed sequence each pass: O(slots^2) but allocation-free,
+    // and the ring is small by construction.
+    uint64_t last_seq = 0;
+    bool first = true;
+    for (uint64_t emitted = 0; emitted < g_header->slot_count;
+         ++emitted)
+    {
+        const RingSlot *best = nullptr;
+        uint64_t best_seq = 0;
+        for (uint64_t i = 0; i < g_header->slot_count; ++i) {
+            const RingSlot &s = g_slots[i];
+            const uint64_t commit =
+                s.seq_commit.load(std::memory_order_acquire);
+            if (commit == 0 || commit <= last_seq)
+                continue;
+            if (s.seq_open.load(std::memory_order_relaxed) != commit)
+                continue;
+            if (best == nullptr || commit < best_seq) {
+                best = &s;
+                best_seq = commit;
+            }
+        }
+        if (best == nullptr)
+            break;
+        last_seq = best_seq;
+        n = std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"seq\":%llu,\"ts_us\":%llu,\"dur_us\":%llu,"
+            "\"kind\":\"%s\",\"name\":\"%s\",\"detail\":\"%s\"}",
+            first ? "" : ",",
+            static_cast<unsigned long long>(best_seq),
+            static_cast<unsigned long long>(best->ts_us),
+            static_cast<unsigned long long>(best->dur_us), best->kind,
+            best->name, best->detail);
+        writeAll(fd, buf, static_cast<size_t>(n));
+        first = false;
+    }
+
+    writeAll(fd, "]}\n", 3);
+    ::close(fd);
+}
+
+void
+crashHandler(int signo)
+{
+    const char *reason = "signal:unknown";
+    switch (signo) {
+      case SIGSEGV: reason = "signal:SIGSEGV"; break;
+      case SIGBUS:  reason = "signal:SIGBUS"; break;
+      case SIGILL:  reason = "signal:SIGILL"; break;
+      case SIGFPE:  reason = "signal:SIGFPE"; break;
+      case SIGABRT: reason = "signal:SIGABRT"; break;
+    }
+    if (g_dump_path[0] != '\0')
+        signalSafeDump(g_dump_path, reason);
+
+    // Restore the default action and re-raise so the exit status
+    // still reports the signal (and cores still drop if enabled).
+    ::signal(signo, SIG_DFL);
+    ::raise(signo);
+}
+
+} // namespace
+
+bool
+FlightRecorder::start(const std::string &ring_path, size_t slots)
+{
+    if (active()) {
+        warn("flight recorder already active; ignoring start(%s)",
+             ring_path.c_str());
+        return false;
+    }
+    if (slots == 0)
+        slots = kDefaultSlots;
+
+    const int fd = ::open(ring_path.c_str(),
+                          O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("flight recorder: cannot create ring '%s'",
+             ring_path.c_str());
+        return false;
+    }
+    const size_t bytes = ringBytes(slots);
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        warn("flight recorder: cannot size ring '%s'",
+             ring_path.c_str());
+        ::close(fd);
+        return false;
+    }
+    void *map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    ::close(fd); // The mapping keeps the file alive.
+    if (map == MAP_FAILED) {
+        warn("flight recorder: cannot map ring '%s'",
+             ring_path.c_str());
+        return false;
+    }
+
+    std::memset(map, 0, bytes);
+    g_header = static_cast<RingHeader *>(map);
+    g_slots = reinterpret_cast<RingSlot *>(
+        static_cast<char *>(map) + sizeof(RingHeader));
+    g_map_bytes = bytes;
+    std::memcpy(g_header->magic, kRingMagic, sizeof(kRingMagic));
+    g_header->slot_count = slots;
+    g_header->next_seq.store(1, std::memory_order_relaxed);
+
+    detail::g_flight_active.store(true, std::memory_order_release);
+    return true;
+}
+
+void
+FlightRecorder::installCrashDump(const std::string &json_path)
+{
+    if (!active()) {
+        warn("flight recorder inactive; crash dump not installed");
+        return;
+    }
+    if (json_path.size() >= sizeof(g_dump_path)) {
+        warn("flight recorder: dump path too long, not installed");
+        return;
+    }
+    std::memcpy(g_dump_path, json_path.c_str(), json_path.size() + 1);
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = crashHandler;
+    sigemptyset(&sa.sa_mask);
+    for (const int signo :
+         {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+    {
+        ::sigaction(signo, &sa, nullptr);
+    }
+}
+
+void
+FlightRecorder::record(const char *kind, const std::string &name,
+                       const std::string &detail, uint64_t ts_us,
+                       uint64_t dur_us)
+{
+    if (!active())
+        return;
+    if (ts_us == 0)
+        ts_us = static_cast<uint64_t>(obs::detail::traceNowUs());
+
+    const uint64_t seq =
+        g_header->next_seq.fetch_add(1, std::memory_order_relaxed);
+    RingSlot &s = g_slots[(seq - 1) % g_header->slot_count];
+    // Invalidate, fill, commit: readers only trust matching stamps.
+    s.seq_commit.store(0, std::memory_order_relaxed);
+    s.seq_open.store(seq, std::memory_order_relaxed);
+    s.ts_us = ts_us;
+    s.dur_us = dur_us;
+    sanitizeInto(s.kind, kind);
+    sanitizeInto(s.name, name);
+    sanitizeInto(s.detail, detail);
+    s.seq_commit.store(seq, std::memory_order_release);
+}
+
+void
+FlightRecorder::recordSpan(const std::string &name, double start_us,
+                           double dur_us)
+{
+    record("span", name, "", static_cast<uint64_t>(start_us),
+           static_cast<uint64_t>(dur_us < 0 ? 0 : dur_us));
+}
+
+size_t
+FlightRecorder::dump(const std::string &json_path,
+                     const std::string &reason)
+{
+    if (!active())
+        return 0;
+    const std::vector<Event> events = collectEvents(g_header, g_slots);
+    std::ofstream out(json_path);
+    if (!out) {
+        warn("flight recorder: cannot write dump '%s'",
+             json_path.c_str());
+        return 0;
+    }
+    out << renderEvents(events, reason) << '\n';
+    return events.size();
+}
+
+void
+FlightRecorder::stop()
+{
+    if (!active())
+        return;
+    detail::g_flight_active.store(false, std::memory_order_release);
+    g_dump_path[0] = '\0';
+    ::munmap(g_header, g_map_bytes);
+    g_header = nullptr;
+    g_slots = nullptr;
+    g_map_bytes = 0;
+}
+
+std::string
+renderRingFile(const std::string &ring_path)
+{
+    std::ifstream in(ring_path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("flight ring not readable: " +
+                                 ring_path);
+    }
+    std::vector<char> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (bytes.size() < sizeof(RingHeader)) {
+        throw std::runtime_error("flight ring truncated: " +
+                                 ring_path);
+    }
+    const auto *header =
+        reinterpret_cast<const RingHeader *>(bytes.data());
+    if (std::memcmp(header->magic, kRingMagic, sizeof(kRingMagic)) !=
+        0)
+    {
+        throw std::runtime_error("not a flight ring: " + ring_path);
+    }
+    if (bytes.size() < ringBytes(header->slot_count)) {
+        throw std::runtime_error("flight ring truncated: " +
+                                 ring_path);
+    }
+    const auto *slots = reinterpret_cast<const RingSlot *>(
+        bytes.data() + sizeof(RingHeader));
+    return renderEvents(collectEvents(header, slots), "post-mortem");
+}
+
+} // namespace obs
+} // namespace gpuscale

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Crash flight recorder: a bounded lock-free ring of recent telemetry
+ * events backed by an mmap'd file.
+ *
+ * The recorder keeps the last N spans/events/degradations in a ring
+ * whose storage is a MAP_SHARED file, so the history survives any
+ * process death — including SIGKILL, which no handler can observe.
+ * Three ways the "black box" gets read:
+ *
+ *  - Fatal signals (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT, the last
+ *    covering panic() and fault-injection aborts): an async-signal-safe
+ *    handler renders the ring to a JSON dump before re-raising.
+ *  - Degraded exits: the CLI dumps explicitly before returning exit
+ *    code 4.
+ *  - Post-mortem: renderRingFile() parses a ring file left behind by
+ *    a killed process (`gpuscale-stat blackbox` wraps it).
+ *
+ * Writers claim a slot with one relaxed fetch_add and stamp the slot's
+ * sequence twice (open before the payload, commit after), so readers
+ * detect and skip torn slots without any lock.  record() while the
+ * recorder is inactive is one relaxed load.
+ */
+
+#ifndef GPUSCALE_OBS_FLIGHT_RECORDER_HH
+#define GPUSCALE_OBS_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpuscale {
+namespace obs {
+
+namespace detail {
+
+extern std::atomic<bool> g_flight_active;
+
+} // namespace detail
+
+class FlightRecorder
+{
+  public:
+    /** Ring capacity when the caller does not choose one. */
+    static constexpr size_t kDefaultSlots = 256;
+    /** Fixed per-slot text capacities (NUL included). */
+    static constexpr size_t kKindBytes = 16;
+    static constexpr size_t kNameBytes = 64;
+    static constexpr size_t kDetailBytes = 64;
+
+    /** Cheap check used by every instrumentation point. */
+    static bool
+    active()
+    {
+        return detail::g_flight_active.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Create (truncating) the mmap-backed ring at `ring_path` and
+     * start recording.  Returns false (with a warning) if the file
+     * cannot be created or mapped; starting while active is a
+     * warn-and-ignore.
+     */
+    static bool start(const std::string &ring_path,
+                      size_t slots = kDefaultSlots);
+
+    /**
+     * Arrange for fatal signals (SEGV/BUS/ILL/FPE/ABRT) to render the
+     * ring as a black-box JSON document at `json_path` before the
+     * default action runs.  Requires an active recorder.
+     */
+    static void installCrashDump(const std::string &json_path);
+
+    /**
+     * Append one event.  `kind` is a short tag ("span", "event",
+     * "degradation", "fault"); strings are truncated to the slot
+     * capacities and sanitized to a JSON-safe charset at record time
+     * so the signal-handler dump needs no escaping.
+     */
+    static void record(const char *kind, const std::string &name,
+                       const std::string &detail = "",
+                       uint64_t ts_us = 0, uint64_t dur_us = 0);
+
+    /** record() shim for completed trace spans (see TraceScope). */
+    static void recordSpan(const std::string &name, double start_us,
+                           double dur_us);
+
+    /**
+     * Render the live ring as a black-box JSON document at
+     * `json_path` (the non-signal path: degraded exits, tests).
+     *
+     * @return number of events dumped (0 if inactive).
+     */
+    static size_t dump(const std::string &json_path,
+                       const std::string &reason);
+
+    /** Stop recording and release the mapping; the file remains. */
+    static void stop();
+};
+
+/**
+ * Post-mortem rendering: parse a ring file written by a (possibly
+ * SIGKILLed) process and return the same black-box JSON document the
+ * crash handler would have produced, with reason "post-mortem".
+ *
+ * @throw std::runtime_error when the file is missing or not a ring.
+ */
+std::string renderRingFile(const std::string &ring_path);
+
+} // namespace obs
+} // namespace gpuscale
+
+#endif // GPUSCALE_OBS_FLIGHT_RECORDER_HH

@@ -28,9 +28,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <string>
 
 #include "base/table.hh"
@@ -39,6 +41,8 @@ namespace gpuscale {
 namespace obs {
 
 class JsonWriter;
+class ShardedCounter;
+class ShardedHistogram;
 
 /** Monotonic event counter; inc() is wait-free. */
 class Counter
@@ -126,6 +130,16 @@ class Histogram
     uint64_t count() const;
     double sum() const;
     double mean() const;
+
+    /** True while no sample has been recorded (or since reset()). */
+    bool empty() const { return count() == 0; }
+
+    /**
+     * Smallest / largest recorded sample.  While empty() these return
+     * NaN — not 0.0, which a genuine record(0.0) would also produce;
+     * JSON snapshots serialize the NaN as null, so "no samples" and
+     * "a zero-valued sample" stay distinguishable downstream.
+     */
     double minSample() const;
     double maxSample() const;
 
@@ -145,9 +159,31 @@ class Histogram
     std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
     std::atomic<uint64_t> count_{0};
     std::atomic<double> sum_{0.0};
-    std::atomic<double> min_{0.0};
-    std::atomic<double> max_{0.0};
+    // Seeded at +/-infinity (the identity of min/max), never 0.0 — a
+    // 0.0 seed would pin minSample() below every positive sample.
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
+
+namespace detail {
+
+/** Relaxed CAS accumulate for atomic doubles (sums across threads). */
+void atomicAdd(std::atomic<double> &slot, double delta);
+
+/** Relaxed CAS lower/raise of an atomic double extreme. */
+void atomicMin(std::atomic<double> &slot, double v);
+void atomicMax(std::atomic<double> &slot, double v);
+
+/**
+ * Percentile reconstruction from a merged bucket snapshot, shared by
+ * Histogram and ShardedHistogram; clamps to [min_sample, max_sample].
+ * Returns 0 when the snapshot is empty.
+ */
+double percentileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets> &snap, double p,
+    double min_sample, double max_sample);
+
+} // namespace detail
 
 /**
  * The process-wide instrument registry.
@@ -170,7 +206,37 @@ class Registry
     Histogram &histogram(const std::string &name,
                          const std::string &desc = "");
 
+    /**
+     * Sharded (striped) variants for instruments updated from many
+     * threads on hot paths (see sharded.hh).  A name owns one kind
+     * for the process lifetime: re-registering a plain instrument's
+     * name as sharded (or vice versa) is a panic, since snapshots
+     * would otherwise carry duplicate keys.
+     */
+    ShardedCounter &shardedCounter(const std::string &name,
+                                   const std::string &desc = "");
+    ShardedHistogram &shardedHistogram(const std::string &name,
+                                       const std::string &desc = "");
+
     bool empty() const;
+
+    /**
+     * Process-wide telemetry quiesce switch: while set, sharded
+     * instruments drop inc()/record() after one relaxed load.  The
+     * telemetry bench measures its instrumentation-overhead gate
+     * against this baseline; production code never sets it.
+     */
+    static void
+    setQuiesced(bool q)
+    {
+        quiesced_.store(q, std::memory_order_relaxed);
+    }
+
+    static bool
+    quiesced()
+    {
+        return quiesced_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Write the current values as a JSON object value:
@@ -181,6 +247,15 @@ class Registry
 
     /** writeJson() into a standalone document string. */
     std::string snapshotJson() const;
+
+    /**
+     * Prometheus text-exposition rendering of the current values
+     * (one "# HELP"/"# TYPE" pair per instrument; histograms as
+     * summaries with 0.5/0.9/0.99 quantiles).  Metric names are
+     * prefixed "gpuscale_" with dots mapped to underscores.  This is
+     * the endpoint body a resident gpuscaled will serve.
+     */
+    void writeExposition(std::ostream &os) const;
 
     /** Human-readable snapshot via base/table. */
     TextTable snapshotTable() const;
@@ -203,6 +278,10 @@ class Registry
     std::map<std::string, Entry<Counter>> counters_;
     std::map<std::string, Entry<Gauge>> gauges_;
     std::map<std::string, Entry<Histogram>> histograms_;
+    std::map<std::string, Entry<ShardedCounter>> sharded_counters_;
+    std::map<std::string, Entry<ShardedHistogram>> sharded_histograms_;
+
+    static inline std::atomic<bool> quiesced_{false};
 };
 
 } // namespace obs

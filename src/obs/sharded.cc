@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Sharded instrument implementation: shard assignment plus the
+ * striped counter/histogram bodies declared in sharded.hh.
+ */
+
+#include "sharded.hh"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace gpuscale {
+namespace obs {
+
+namespace {
+
+/** Round up to the next power of two (shard masks stay cheap). */
+unsigned
+nextPow2(unsigned v)
+{
+    unsigned p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+unsigned
+computeShardCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned want = nextPow2(hw == 0 ? 4 : hw);
+    return std::min(64u, std::max(4u, want));
+}
+
+/** Deals shard indices to threads that never set a hint. */
+std::atomic<unsigned> shard_dealer{0};
+
+/** This thread's home shard; kUnassigned until first use or hint. */
+constexpr unsigned kUnassigned = ~0u;
+thread_local unsigned t_home_shard = kUnassigned;
+
+} // namespace
+
+unsigned
+shardCount()
+{
+    static const unsigned count = computeShardCount();
+    return count;
+}
+
+unsigned
+currentShard()
+{
+    if (t_home_shard == kUnassigned) {
+        t_home_shard = shard_dealer.fetch_add(
+                           1, std::memory_order_relaxed) %
+                       shardCount();
+    }
+    return t_home_shard;
+}
+
+void
+setThreadShardHint(unsigned hint)
+{
+    t_home_shard = hint % shardCount();
+}
+
+ShardedCounter::ShardedCounter()
+    : shards_(std::make_unique<Shard[]>(shardCount()))
+{
+}
+
+void
+ShardedCounter::inc(uint64_t n)
+{
+    if (Registry::quiesced())
+        return;
+    shards_[currentShard()].value.fetch_add(n,
+                                            std::memory_order_relaxed);
+}
+
+uint64_t
+ShardedCounter::value() const
+{
+    uint64_t total = 0;
+    for (unsigned s = 0; s < shardCount(); ++s)
+        total += shards_[s].value.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<uint64_t>
+ShardedCounter::shardValues() const
+{
+    std::vector<uint64_t> out(shardCount());
+    for (unsigned s = 0; s < shardCount(); ++s)
+        out[s] = shards_[s].value.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+ShardedCounter::reset()
+{
+    for (unsigned s = 0; s < shardCount(); ++s)
+        shards_[s].value.store(0, std::memory_order_relaxed);
+}
+
+ShardedHistogram::ShardedHistogram()
+    : shards_(std::make_unique<Shard[]>(shardCount()))
+{
+    reset();
+}
+
+void
+ShardedHistogram::record(double v)
+{
+    if (Registry::quiesced())
+        return;
+    Shard &shard = shards_[currentShard()];
+    shard.buckets[Histogram::bucketIndex(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    detail::atomicAdd(shard.sum, v);
+    detail::atomicMin(shard.min, v);
+    detail::atomicMax(shard.max, v);
+}
+
+uint64_t
+ShardedHistogram::count() const
+{
+    uint64_t total = 0;
+    for (unsigned s = 0; s < shardCount(); ++s)
+        total += shards_[s].count.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+ShardedHistogram::sum() const
+{
+    double total = 0.0;
+    for (unsigned s = 0; s < shardCount(); ++s)
+        total += shards_[s].sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+ShardedHistogram::mean() const
+{
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<uint64_t>
+ShardedHistogram::shardCounts() const
+{
+    std::vector<uint64_t> out(shardCount());
+    for (unsigned s = 0; s < shardCount(); ++s)
+        out[s] = shards_[s].count.load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+ShardedHistogram::minSample() const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (unsigned s = 0; s < shardCount(); ++s)
+        best = std::min(best,
+                        shards_[s].min.load(std::memory_order_relaxed));
+    return std::isinf(best)
+               ? std::numeric_limits<double>::quiet_NaN()
+               : best;
+}
+
+double
+ShardedHistogram::maxSample() const
+{
+    double best = -std::numeric_limits<double>::infinity();
+    for (unsigned s = 0; s < shardCount(); ++s)
+        best = std::max(best,
+                        shards_[s].max.load(std::memory_order_relaxed));
+    return std::isinf(best)
+               ? std::numeric_limits<double>::quiet_NaN()
+               : best;
+}
+
+double
+ShardedHistogram::percentile(double p) const
+{
+    std::array<uint64_t, Histogram::kNumBuckets> snap{};
+    for (unsigned s = 0; s < shardCount(); ++s) {
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            snap[i] += shards_[s].buckets[i].load(
+                std::memory_order_relaxed);
+        }
+    }
+    return detail::percentileFromBuckets(snap, p, minSample(),
+                                         maxSample());
+}
+
+void
+ShardedHistogram::reset()
+{
+    for (unsigned s = 0; s < shardCount(); ++s) {
+        Shard &shard = shards_[s];
+        for (auto &b : shard.buckets)
+            b.store(0, std::memory_order_relaxed);
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.sum.store(0.0, std::memory_order_relaxed);
+        shard.min.store(std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+        shard.max.store(-std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+    }
+}
+
+} // namespace obs
+} // namespace gpuscale

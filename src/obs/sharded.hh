@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Sharded (striped) hot-path instruments.
+ *
+ * A plain Counter or Histogram is one cache line every recording
+ * thread RMWs; on the batched census path (267 kernels x 891 configs
+ * fanned across the worker pool) that line ping-pongs between cores
+ * and the instrument shows up in the profile it was supposed to
+ * observe.  ShardedCounter and ShardedHistogram stripe the state
+ * across cacheline-padded shards: each thread picks a home shard once
+ * (pool workers are pinned to their spawn ordinal via
+ * setThreadShardHint(); foreign threads are dealt shards round-robin)
+ * and every inc()/record() touches only that shard's lines.  Readers
+ * merge the shards at snapshot time, which is rare and cheap.
+ *
+ * Both instruments honor the registry's quiesce switch
+ * (Registry::setQuiesced): when quiesced, inc()/record() return after
+ * one relaxed load.  The telemetry bench uses that as the zero-cost
+ * baseline its <= 2% overhead gate compares against.
+ */
+
+#ifndef GPUSCALE_OBS_SHARDED_HH
+#define GPUSCALE_OBS_SHARDED_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "metrics.hh"
+
+namespace gpuscale {
+namespace obs {
+
+/** Destructive-interference padding unit for shard alignment. */
+constexpr size_t kCachelineBytes = 64;
+
+/**
+ * Shards per sharded instrument: a power of two, at least 4 (so shard
+ * behavior is observable even on one-core hosts), at most 64, sized
+ * to the hardware concurrency.  Fixed for the process lifetime.
+ */
+unsigned shardCount();
+
+/**
+ * The calling thread's home shard in [0, shardCount()).  Assigned
+ * round-robin on first use and cached thread-locally.
+ */
+unsigned currentShard();
+
+/**
+ * Pin the calling thread to shard `hint % shardCount()`.  The harness
+ * thread pool registers each worker with its spawn ordinal so pool
+ * workers spread deterministically across shards instead of hashing
+ * into collisions.
+ */
+void setThreadShardHint(unsigned hint);
+
+/**
+ * Monotonic counter striped across cacheline-padded shards; inc() is
+ * one relaxed fetch_add on the calling thread's home shard.
+ */
+class ShardedCounter
+{
+  public:
+    ShardedCounter();
+    ShardedCounter(const ShardedCounter &) = delete;
+    ShardedCounter &operator=(const ShardedCounter &) = delete;
+
+    void inc(uint64_t n = 1);
+
+    /** Sum across shards (monotone between resets). */
+    uint64_t value() const;
+
+    /** Per-shard values, for balance diagnostics. */
+    std::vector<uint64_t> shardValues() const;
+
+    void reset();
+
+  private:
+    struct alignas(kCachelineBytes) Shard {
+        std::atomic<uint64_t> value{0};
+    };
+
+    std::unique_ptr<Shard[]> shards_;
+};
+
+/**
+ * Log-scale latency histogram striped across cacheline-padded shards.
+ * Same bucket geometry and accessor surface as Histogram; record()
+ * touches only the calling thread's shard, and every read-side
+ * statistic merges a relaxed snapshot of all shards.
+ */
+class ShardedHistogram
+{
+  public:
+    ShardedHistogram();
+    ShardedHistogram(const ShardedHistogram &) = delete;
+    ShardedHistogram &operator=(const ShardedHistogram &) = delete;
+
+    void record(double v);
+
+    uint64_t count() const;
+    double sum() const;
+    double mean() const;
+    bool empty() const { return count() == 0; }
+
+    /** Smallest/largest recorded sample; NaN while empty. */
+    double minSample() const;
+    double maxSample() const;
+
+    /** Per-shard sample counts, for balance diagnostics. */
+    std::vector<uint64_t> shardCounts() const;
+
+    /** Merged-shard percentile; 0 when empty (see Histogram). */
+    double percentile(double p) const;
+
+    void reset();
+
+  private:
+    struct alignas(kCachelineBytes) Shard {
+        std::array<std::atomic<uint64_t>, Histogram::kNumBuckets>
+            buckets;
+        std::atomic<uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+        std::atomic<double> min;
+        std::atomic<double> max;
+    };
+
+    std::unique_ptr<Shard[]> shards_;
+};
+
+} // namespace obs
+} // namespace gpuscale
+
+#endif // GPUSCALE_OBS_SHARDED_HH

@@ -23,6 +23,8 @@
 #include <string>
 #include <utility>
 
+#include "flight_recorder.hh"
+
 namespace gpuscale {
 namespace obs {
 
@@ -67,17 +69,20 @@ class TraceSession
 
 /**
  * RAII span: measures construction-to-destruction on the steady clock
- * and records a complete event when a session is active.
+ * and records a complete event into the trace session and/or the
+ * flight recorder, whichever is active (two relaxed loads when
+ * neither is).
  */
 class TraceScope
 {
   public:
     explicit TraceScope(std::string name)
     {
-        if (TraceSession::active()) {
+        trace_armed_ = TraceSession::active();
+        flight_armed_ = FlightRecorder::active();
+        if (trace_armed_ || flight_armed_) {
             name_ = std::move(name);
             start_us_ = detail::traceNowUs();
-            armed_ = true;
         }
     }
 
@@ -86,17 +91,25 @@ class TraceScope
 
     ~TraceScope()
     {
-        if (armed_) {
+        if (trace_armed_ || flight_armed_) {
             const double end_us = detail::traceNowUs();
-            detail::traceRecordComplete(std::move(name_), start_us_,
-                                        end_us - start_us_);
+            if (flight_armed_) {
+                FlightRecorder::recordSpan(name_, start_us_,
+                                           end_us - start_us_);
+            }
+            if (trace_armed_) {
+                detail::traceRecordComplete(std::move(name_),
+                                            start_us_,
+                                            end_us - start_us_);
+            }
         }
     }
 
   private:
     std::string name_;
     double start_us_ = 0.0;
-    bool armed_ = false;
+    bool trace_armed_ = false;
+    bool flight_armed_ = false;
 };
 
 } // namespace obs

@@ -22,6 +22,22 @@
  *                         ui.perfetto.dev).
  *   --metrics=FILE        write a metrics-registry JSON snapshot and
  *                         print the metrics table.
+ *   --metrics-interval=MS start the background exporter appending a
+ *                         JSONL time-series line of registry deltas
+ *                         every MS milliseconds (also honoured from
+ *                         the GPUSCALE_METRICS_INTERVAL environment
+ *                         variable when the flag is absent).
+ *   --metrics-jsonl=FILE  destination for the exporter's time series
+ *                         (default metrics.jsonl).
+ *   --exposition=FILE     write a Prometheus text-exposition snapshot
+ *                         at exit (the body a resident gpuscaled
+ *                         would serve on /metrics).
+ *   --flight-recorder=BASE keep a crash flight recorder ring at
+ *                         BASE.ring (mmap-backed; survives kill -9)
+ *                         and dump a black-box JSON to BASE.json on
+ *                         fatal signals or a degraded (exit 4) run.
+ *                         `gpuscale-stat blackbox BASE.ring` reads
+ *                         the ring post-mortem.
  *   --progress            live progress line on stderr during sweeps.
  *   --sweep-cache=DIR     persist sweep results under DIR so repeat
  *                         invocations of the same sweep hit the cache
@@ -65,7 +81,9 @@
 #include "harness/experiment.hh"
 #include "harness/noise.hh"
 #include "harness/sweep_cache.hh"
+#include "obs/exporter.hh"
 #include "obs/fault_telemetry.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/retry.hh"
@@ -89,8 +107,12 @@ constexpr int kExitDegraded = 4;
 struct CliOptions {
     std::string trace_file;
     std::string metrics_file;
+    std::string metrics_jsonl = "metrics.jsonl";
+    std::string exposition_file;
+    std::string flight_recorder_base;
     std::string sweep_cache_dir;
     std::string checkpoint_dir;
+    unsigned metrics_interval_ms = 0;
     bool progress = false;
 };
 
@@ -267,11 +289,20 @@ usage()
         "options:\n"
         "  --trace=FILE         Chrome/Perfetto trace-event JSON\n"
         "  --metrics=FILE       metrics-registry JSON snapshot\n"
+        "  --metrics-interval=MS  periodic JSONL metrics export\n"
+        "  --metrics-jsonl=FILE exporter destination "
+        "(default metrics.jsonl)\n"
+        "  --exposition=FILE    Prometheus text exposition at exit\n"
+        "  --flight-recorder=BASE  crash black box: ring at "
+        "BASE.ring,\n"
+        "                       dump at BASE.json on crash/degrade\n"
         "  --progress           live sweep progress on stderr\n"
         "  --sweep-cache=DIR    persistent sweep cache directory\n"
         "  --checkpoint=DIR     crash-safe census journal directory\n"
         "env: GPUSCALE_FAULTS, GPUSCALE_FAULT_SEED, GPUSCALE_RETRY "
-        "(see docs/fault_tolerance.md)\n"
+        "(see docs/fault_tolerance.md),\n"
+        "     GPUSCALE_METRICS_INTERVAL (ms, same as "
+        "--metrics-interval)\n"
         "exit codes: 0 ok, 1 failure, 2 unknown command, "
         "3 bad arguments,\n"
         "            4 ok but degraded (absorbed faults)\n");
@@ -309,6 +340,26 @@ main(int argc, char **argv)
             opts.trace_file = arg.substr(8);
         } else if (arg.rfind("--metrics=", 0) == 0) {
             opts.metrics_file = arg.substr(10);
+        } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+            // from_chars, not atoi: a mistyped interval must be a
+            // usage error, not a silently disabled exporter.
+            const auto parsed = parseDouble(arg.substr(19));
+            if (!parsed || *parsed <= 0) {
+                std::fprintf(stderr,
+                             "--metrics-interval: '%s' is not a "
+                             "positive millisecond count\n",
+                             arg.substr(19).c_str());
+                usage();
+                return kExitBadArguments;
+            }
+            opts.metrics_interval_ms =
+                static_cast<unsigned>(*parsed);
+        } else if (arg.rfind("--metrics-jsonl=", 0) == 0) {
+            opts.metrics_jsonl = arg.substr(16);
+        } else if (arg.rfind("--exposition=", 0) == 0) {
+            opts.exposition_file = arg.substr(13);
+        } else if (arg.rfind("--flight-recorder=", 0) == 0) {
+            opts.flight_recorder_base = arg.substr(18);
         } else if (arg.rfind("--sweep-cache=", 0) == 0) {
             opts.sweep_cache_dir = arg.substr(14);
         } else if (arg.rfind("--checkpoint=", 0) == 0) {
@@ -329,8 +380,33 @@ main(int argc, char **argv)
         return kExitBadArguments;
     }
 
+    if (opts.metrics_interval_ms == 0) {
+        // The environment can turn the exporter on for runs whose
+        // command line a wrapper controls.
+        if (const char *env = std::getenv("GPUSCALE_METRICS_INTERVAL")) {
+            const auto parsed = parseDouble(env);
+            if (parsed && *parsed > 0)
+                opts.metrics_interval_ms =
+                    static_cast<unsigned>(*parsed);
+            else
+                warn("ignoring GPUSCALE_METRICS_INTERVAL='%s'", env);
+        }
+    }
+
     if (!opts.trace_file.empty())
         obs::TraceSession::start(opts.trace_file);
+    if (!opts.flight_recorder_base.empty()) {
+        if (obs::FlightRecorder::start(opts.flight_recorder_base +
+                                       ".ring"))
+        {
+            obs::FlightRecorder::installCrashDump(
+                opts.flight_recorder_base + ".json");
+        }
+    }
+    if (opts.metrics_interval_ms > 0) {
+        obs::MetricsExporter::start(opts.metrics_jsonl,
+                                    opts.metrics_interval_ms);
+    }
     if (!opts.sweep_cache_dir.empty())
         harness::SweepCache::instance().setDirectory(
             opts.sweep_cache_dir);
@@ -376,8 +452,19 @@ main(int argc, char **argv)
         return kExitUnknownCommand;
     }
 
+    if (obs::MetricsExporter::active()) {
+        obs::MetricsExporter::stop();
+        inform("wrote %s", opts.metrics_jsonl.c_str());
+    }
     if (!opts.metrics_file.empty())
         emitMetrics(opts.metrics_file);
+    if (!opts.exposition_file.empty()) {
+        std::ofstream os(opts.exposition_file);
+        fatal_if(!os, "cannot write exposition file %s",
+                 opts.exposition_file.c_str());
+        obs::Registry::instance().writeExposition(os);
+        inform("wrote %s", opts.exposition_file.c_str());
+    }
     if (!opts.trace_file.empty()) {
         const size_t spans = obs::TraceSession::stop();
         inform("wrote %s (%zu spans)", opts.trace_file.c_str(), spans);
@@ -387,6 +474,18 @@ main(int argc, char **argv)
              static_cast<unsigned long long>(obs::degradationCount()),
              kExitDegraded);
         rc = kExitDegraded;
+    }
+    if (obs::FlightRecorder::active()) {
+        if (rc == kExitDegraded) {
+            // The black box explains *what* degraded, not just that
+            // something did: dump before the recorder winds down.
+            const std::string dump_path =
+                opts.flight_recorder_base + ".json";
+            obs::FlightRecorder::dump(dump_path, "degraded-exit-4");
+            inform("wrote %s", dump_path.c_str());
+        }
+        // The ring file stays behind for post-mortem reads.
+        obs::FlightRecorder::stop();
     }
     return rc;
 }

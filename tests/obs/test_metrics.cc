@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -100,6 +101,83 @@ TEST(HistogramTest, StatisticsAndPercentiles)
     EXPECT_LE(h.percentile(100), 1e-3);
 }
 
+TEST(HistogramTest, EmptyStateIsDistinguishableFromZeroSample)
+{
+    Histogram &h =
+        Registry::instance().histogram("test.metrics.empty_sentinel");
+    h.reset();
+
+    // While empty: explicit empty() plus NaN extremes — not the 0.0
+    // that a genuine zero-valued sample would produce.
+    EXPECT_TRUE(h.empty());
+    EXPECT_TRUE(std::isnan(h.minSample()));
+    EXPECT_TRUE(std::isnan(h.maxSample()));
+
+    // The JSON snapshot keeps the distinction: NaN serializes as
+    // null, so downstream readers never mistake "no samples" for "a
+    // zero sample".
+    const JsonValue before = parseJson(
+        Registry::instance().snapshotJson());
+    const JsonValue &empty_hist =
+        before.at("histograms").at("test.metrics.empty_sentinel");
+    EXPECT_TRUE(empty_hist.at("min").isNull());
+    EXPECT_TRUE(empty_hist.at("max").isNull());
+
+    // One record(0.0): no longer empty, extremes exactly 0.0.
+    h.record(0.0);
+    EXPECT_FALSE(h.empty());
+    EXPECT_DOUBLE_EQ(h.minSample(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 0.0);
+    const JsonValue after = parseJson(
+        Registry::instance().snapshotJson());
+    const JsonValue &zero_hist =
+        after.at("histograms").at("test.metrics.empty_sentinel");
+    EXPECT_TRUE(zero_hist.at("min").isNumber());
+    EXPECT_DOUBLE_EQ(zero_hist.at("min").number, 0.0);
+
+    // reset() restores the empty sentinel, not a zero floor.
+    h.reset();
+    EXPECT_TRUE(h.empty());
+    EXPECT_TRUE(std::isnan(h.minSample()));
+}
+
+TEST(HistogramTest, PercentileEdgeCases)
+{
+    Histogram &h = Registry::instance().histogram(
+        "test.metrics.percentile_edges");
+    h.reset();
+
+    // Empty histogram: every percentile is the 0 sentinel.
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+
+    // Single sample: every percentile collapses to that sample (the
+    // clamp to [min, max] makes this exact, not bucket-resolution).
+    h.record(3e-6);
+    for (const double p : {0.0, 50.0, 99.9, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 3e-6) << "p=" << p;
+
+    // With samples spanning buckets, p=0 and p=100 stay inside the
+    // observed range (bucket midpoints, clamped to [min, max]).
+    h.record(7e-4);
+    EXPECT_GE(h.percentile(0), 3e-6);
+    EXPECT_LT(h.percentile(0), 7e-4);
+    EXPECT_GT(h.percentile(100), 3e-6);
+    EXPECT_LE(h.percentile(100), 7e-4);
+    EXPECT_LE(h.percentile(0), h.percentile(100));
+
+    // Overflow bucket: samples at/above kHi land in the last bucket
+    // and percentiles stay clamped to the true max, never inf.
+    h.reset();
+    h.record(Histogram::kHi * 10); // 10,000 s: overflow bucket.
+    EXPECT_EQ(Histogram::bucketIndex(Histogram::kHi * 10),
+              Histogram::kNumBuckets - 1);
+    EXPECT_DOUBLE_EQ(h.percentile(50), Histogram::kHi * 10);
+    EXPECT_DOUBLE_EQ(h.percentile(100), Histogram::kHi * 10);
+    EXPECT_TRUE(std::isfinite(h.percentile(99)));
+}
+
 TEST(HistogramTest, ConcurrentRecordsAllCounted)
 {
     Histogram &h = Registry::instance().histogram(
@@ -154,6 +232,53 @@ TEST(RegistryTest, SnapshotJsonParsesAndCarriesValues)
     EXPECT_GT(hist.at("p50").number, 0.0);
     EXPECT_GE(hist.at("p99").number, hist.at("p50").number);
     EXPECT_GE(hist.at("max").number, hist.at("min").number);
+}
+
+TEST(RegistryTest, ExpositionRendersPrometheusText)
+{
+    auto &reg = Registry::instance();
+    reg.counter("test.expo.counter", "an exposition counter").inc(9);
+    reg.gauge("test.expo.gauge", "an exposition gauge").set(2.5);
+    Histogram &h =
+        reg.histogram("test.expo.hist", "an exposition histogram");
+    h.reset();
+    h.record(1e-6);
+    Histogram &empty_h =
+        reg.histogram("test.expo.empty_hist", "never recorded");
+    empty_h.reset();
+
+    std::ostringstream os;
+    reg.writeExposition(os);
+    const std::string text = os.str();
+
+    // Names are prefixed and dot-mapped; counters carry HELP/TYPE.
+    EXPECT_NE(text.find("# HELP gpuscale_test_expo_counter "
+                        "an exposition counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE gpuscale_test_expo_counter counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("gpuscale_test_expo_counter 9\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE gpuscale_test_expo_gauge gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("gpuscale_test_expo_gauge 2.5\n"),
+              std::string::npos);
+
+    // Histograms render as summaries with quantiles + _sum/_count.
+    EXPECT_NE(text.find("# TYPE gpuscale_test_expo_hist summary\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("gpuscale_test_expo_hist{quantile=\"0.5\"} "),
+        std::string::npos);
+    EXPECT_NE(text.find("gpuscale_test_expo_hist_count 1\n"),
+              std::string::npos);
+
+    // An empty histogram omits quantiles but still exports _count=0.
+    EXPECT_EQ(
+        text.find("gpuscale_test_expo_empty_hist{quantile"),
+        std::string::npos);
+    EXPECT_NE(text.find("gpuscale_test_expo_empty_hist_count 0\n"),
+              std::string::npos);
 }
 
 TEST(RegistryTest, SnapshotTableHasRowPerInstrument)
