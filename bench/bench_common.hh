@@ -22,6 +22,7 @@
 #include "base/logging.hh"
 #include "gpu/analytic_model.hh"
 #include "harness/experiment.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -68,6 +69,26 @@ minOfN(int warmup, int runs, Fn &&fn)
     }
     stats.mean_s = total / runs;
     return stats;
+}
+
+/**
+ * Emit a TimingStats as a JSON object, with throughput derived from
+ * the minimum (the same estimator the printed report quotes).
+ * `estimates` is the work per run, so estimates_per_s is comparable
+ * across sections regardless of how many runs each took.
+ */
+inline void
+writeTiming(obs::JsonWriter &w, const TimingStats &stats,
+            double estimates)
+{
+    w.beginObject();
+    w.key("min_s").value(stats.min_s);
+    w.key("mean_s").value(stats.mean_s);
+    w.key("max_s").value(stats.max_s);
+    w.key("runs").value(stats.runs);
+    w.key("estimates_per_s")
+        .value(stats.min_s > 0 ? estimates / stats.min_s : 0.0);
+    w.endObject();
 }
 
 /** The full paper census, computed once per binary. */

@@ -3,10 +3,13 @@
  * Census benchmark runner: the repo's perf gate.
  *
  * Times the batched, sharded census engine end to end (min-of-N with
- * warmup), the legacy scalar single-thread walk it replaced, and a
- * warm repeat that exercises the sweep cache, then emits
- * BENCH_census.json so CI can archive wall time, estimates/s, thread
- * count, and cache hit rate per commit.
+ * warmup), the legacy scalar single-thread walk it replaced, the
+ * single-thread SoA batched walk (the like-for-like >= 8x SIMD gate),
+ * the per-stage split of the batched path (plan preparation vs the
+ * vectorized clock-pair kernel), and a warm repeat that exercises the
+ * sweep cache, then emits BENCH_census.json so CI can archive wall
+ * time, estimates/s, thread count, speedups, and cache hit rate per
+ * commit.
  *
  * Also times the census with a crash-safe checkpoint journal attached
  * and emits BENCH_resilience.json; the journal's write overhead vs
@@ -59,19 +62,7 @@ struct RunnerOptions {
     bool test_grid = false;
 };
 
-void
-writeTiming(obs::JsonWriter &w, const bench::TimingStats &stats,
-            double estimates)
-{
-    w.beginObject();
-    w.key("min_s").value(stats.min_s);
-    w.key("mean_s").value(stats.mean_s);
-    w.key("max_s").value(stats.max_s);
-    w.key("runs").value(stats.runs);
-    w.key("estimates_per_s")
-        .value(stats.min_s > 0 ? estimates / stats.min_s : 0.0);
-    w.endObject();
-}
+using bench::writeTiming;
 
 int
 run(const RunnerOptions &opts)
@@ -80,6 +71,7 @@ run(const RunnerOptions &opts)
     const auto space = opts.test_grid
                            ? scaling::ConfigSpace::testGrid()
                            : scaling::ConfigSpace::paperGrid();
+    const gpu::ConfigGrid grid = space.grid();
     const auto kernels =
         workloads::WorkloadRegistry::instance().allKernels();
     const double estimates =
@@ -130,6 +122,63 @@ run(const RunnerOptions &opts)
                 "(%.0f estimates/s)\n",
                 scalar.min_s, scalar.runs, estimates / scalar.min_s);
     std::printf("speedup: %.2fx\n", speedup);
+
+    //
+    // 2b. The like-for-like SIMD gate: one thread, no cache, no pool —
+    //     the SoA batched kernel against the scalar walk above.  This
+    //     is the number the >= 8x CI gate checks; the parallel figure
+    //     in section 1 folds thread scaling in on top and is reported
+    //     separately.
+    //
+    const bench::TimingStats batched_single =
+        bench::minOfN(std::min(opts.warmup, 1), opts.runs, [&] {
+            double sink = 0.0;
+            for (const auto *kernel : kernels)
+                sink += model.evaluateGridRuntimes(*kernel, grid)[0];
+            fatal_if(sink <= 0, "batched walk produced no time");
+        });
+    const double speedup_single_core =
+        batched_single.min_s > 0 ? scalar.min_s / batched_single.min_s
+                                 : 0.0;
+    std::printf("batched 1-thread census: %.4f s min-of-%d "
+                "(%.0f estimates/s)\n",
+                batched_single.min_s, batched_single.runs,
+                estimates / batched_single.min_s);
+    std::printf("single-core speedup: %.2fx (gate: >= 8x)\n",
+                speedup_single_core);
+
+    //
+    // 2c. Stage split: stages 1-2 hoist kernel invariants and per-CU
+    //     state into the flat SoA plan (prepareBatch); stage 3 is the
+    //     vectorized clock-pair loop (runBatch).  Timing them apart
+    //     shows where a regression landed.
+    //
+    const bench::TimingStats stage12 =
+        bench::minOfN(std::min(opts.warmup, 1), opts.runs, [&] {
+            for (const auto *kernel : kernels) {
+                const auto plan = model.prepareBatch(*kernel, grid);
+                fatal_if(plan.cu.empty(), "empty batch plan");
+            }
+        });
+    std::vector<gpu::batch::BatchPlan> plans;
+    plans.reserve(kernels.size());
+    for (const auto *kernel : kernels)
+        plans.push_back(model.prepareBatch(*kernel, grid));
+    std::vector<double> scratch(space.size());
+    const bench::TimingStats stage3 =
+        bench::minOfN(std::min(opts.warmup, 1), opts.runs, [&] {
+            for (const auto &plan : plans)
+                gpu::batch::runBatch(plan, scratch.data());
+            fatal_if(scratch[0] <= 0,
+                     "stage-3 kernel produced no time");
+        });
+    plans.clear();
+    std::printf("  stage 1-2 (prepare):   %.4f s min-of-%d\n",
+                stage12.min_s, stage12.runs);
+    std::printf("  stage 3 (SIMD kernel): %.4f s min-of-%d "
+                "(%.1f ns/point)\n",
+                stage3.min_s, stage3.runs,
+                stage3.min_s / estimates * 1e9);
 
     //
     // 3. Warm repeat: every sweep should be served by the cache the
@@ -228,6 +277,13 @@ run(const RunnerOptions &opts)
     w.key("scalar_single_thread");
     writeTiming(w, scalar, estimates);
     w.key("speedup").value(speedup);
+    w.key("batched_single_thread");
+    writeTiming(w, batched_single, estimates);
+    w.key("stage12_prepare");
+    writeTiming(w, stage12, estimates);
+    w.key("stage3_kernel");
+    writeTiming(w, stage3, estimates);
+    w.key("speedup_single_core").value(speedup_single_core);
     w.key("cache");
     w.beginObject();
     w.key("warm_run_s").value(warm.min_s);

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Vectorization gate for the batched census kernel: compile
+# src/gpu/analytic_batch.cc standalone with GCC's vectorization
+# report and fail if the marked stage-3 clock-pair loop (the
+# GPUSCALE_STAGE3_LOOP marker) did not vectorize.  The >=8x
+# single-core speedup in BENCH_census.json rests on that loop; a
+# change that quietly devectorizes it (a function call, a non-affine
+# access, an early exit in the inner loop) must fail CI, not surface
+# as an unexplained perf regression later.
+#
+# usage: ci/check_vectorization.sh [compiler]
+#        (defaults to $CXX, then g++)
+#
+# Exit codes: 0 vectorized, 1 devectorized or marker missing,
+#             77 no GCC available (-fopt-info is a GCC flag; skip).
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cxx=${1:-${CXX:-g++}}
+src="$root/src/gpu/analytic_batch.cc"
+
+if ! command -v "$cxx" > /dev/null; then
+    echo "check_vectorization: no compiler '$cxx'; skipping" >&2
+    exit 77
+fi
+if ! "$cxx" --version 2> /dev/null | head -n1 | grep -qE 'g\+\+|GCC'; then
+    echo "check_vectorization: $cxx is not GCC; skipping" >&2
+    exit 77
+fi
+
+marker_line=$(grep -n 'GPUSCALE_STAGE3_LOOP' "$src" |
+              head -n1 | cut -d: -f1)
+if [ -z "$marker_line" ]; then
+    echo "error: GPUSCALE_STAGE3_LOOP marker missing from $src;" \
+         "restore it above the inner memory-clock loop" >&2
+    exit 1
+fi
+# The marker is a comment block; the loop it marks is the first
+# `for (` after it.
+loop_line=$(awk -v start="$marker_line" \
+    'NR > start && /for \(/ { print NR; exit }' "$src")
+if [ -z "$loop_line" ]; then
+    echo "error: no loop found after the GPUSCALE_STAGE3_LOOP" \
+         "marker (line $marker_line) in $src" >&2
+    exit 1
+fi
+
+report=$(mktemp)
+trap 'rm -f "$report"' EXIT
+
+# Same standard and optimization level as the Release build; the
+# report flags are the only addition.
+"$cxx" -std=c++20 -O3 -Wall -Wextra -I "$root/src" \
+    -fopt-info-vec-optimized -fopt-info-vec-missed \
+    -c "$src" -o /dev/null 2> "$report"
+
+if grep -qE "analytic_batch\.cc:$loop_line:[0-9]+: optimized: loop vectorized" \
+    "$report"
+then
+    echo "stage-3 loop (analytic_batch.cc:$loop_line) vectorized:"
+    grep -E "analytic_batch\.cc:$loop_line:.*optimized:" "$report"
+    exit 0
+fi
+
+echo "error: the stage-3 census loop (analytic_batch.cc:$loop_line)" \
+     "no longer vectorizes; compiler report for that line:" >&2
+grep -E "analytic_batch\.cc:$loop_line:" "$report" >&2 || true
+echo "(see docs/performance.md for how to read the report)" >&2
+exit 1

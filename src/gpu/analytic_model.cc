@@ -6,10 +6,12 @@
  * out of the inner loops (see evaluateGrid() in the header):
  * Invariants captures everything derived from the kernel and the
  * fixed microarchitecture alone, CuState everything that additionally
- * depends on the compute-unit count, and parallelPhase() performs
- * only the clock-domain arithmetic.  The scalar estimate() runs the
- * exact same three stages per point, which is what keeps the two
- * paths bitwise identical.
+ * depends on the compute-unit count, and the clock-domain arithmetic
+ * lives in the shared inline helpers of analytic_batch.hh.  The
+ * scalar estimate() path derives the same flat operands per point and
+ * calls the same helpers, which is what keeps the batched and scalar
+ * paths bitwise identical (docs/performance.md spells out the
+ * contract).
  */
 
 #include "analytic_model.hh"
@@ -67,6 +69,8 @@ struct AnalyticModel::Invariants {
     double total_atomics = 0.0;
     double chains = 0.0;
     double barrier_cycles = 0.0;
+    double launches = 0.0;
+    double total_flops = 0.0;
 };
 
 /**
@@ -93,6 +97,16 @@ AnalyticModel::AnalyticModel(AnalyticParams params)
     : params_(params)
 {
 }
+
+// Tripwire: fingerprint() below hand-enumerates every AnalyticParams
+// field, and a field it misses would let the sweep cache serve stale
+// hits across models with different parameters — silent data
+// corruption.  If this assert fires, you added (or resized) a param:
+// fold it into fingerprint(), extend the drift test in
+// tests/gpu/test_analytic_model.cc, and only then bump the count.
+static_assert(sizeof(AnalyticParams) == 4 * sizeof(double),
+              "AnalyticParams changed: update AnalyticModel::"
+              "fingerprint() and its drift test first");
 
 std::string
 AnalyticModel::fingerprint() const
@@ -140,6 +154,10 @@ AnalyticModel::computeInvariants(const KernelDesc &kernel,
         kernel.barriers * (params_.barrier_base_cycles +
                            params_.barrier_cycles_per_wave *
                                kernel.wavesPerWg(arch));
+
+    inv.launches = static_cast<double>(kernel.launches);
+    inv.total_flops = inv.launches * inv.total_items *
+                      (kernel.valu_ops + 4.0 * kernel.sfu_ops);
     return inv;
 }
 
@@ -184,83 +202,78 @@ AnalyticModel::computeCuState(const KernelDesc &kernel,
     return cu;
 }
 
-KernelPerf
-AnalyticModel::parallelPhase(const KernelDesc &kernel,
-                             const GpuConfig &cfg,
-                             const Invariants &inv,
-                             const CuState &cu) const
+batch::KernelTerms
+AnalyticModel::kernelTerms(const Invariants &inv) const
 {
-    KernelPerf perf;
-    perf.occupancy = cu.occ;
-    perf.cache = cu.cache;
-    perf.imbalance_factor = cu.imbalance;
+    batch::KernelTerms kt;
+    kt.simd_cycles_total = inv.simd_cycles_total;
+    kt.lds_lane_ops = inv.lds_lane_ops;
+    kt.l1_bytes = inv.l1_bytes;
+    kt.chains = inv.chains;
+    kt.total_waves = inv.total_waves;
+    kt.has_atomics = inv.total_atomics > 0;
+    return kt;
+}
 
-    const double clk = cfg.coreClkHz();
-    const double cus = static_cast<double>(cfg.num_cus);
-
-    //
-    // CU-local issue bounds.
-    //
-    const double simd_rate = cus * cfg.simds_per_cu * clk;
-    perf.t_compute =
-        inv.simd_cycles_total / simd_rate * perf.imbalance_factor;
-
-    // LDS: lds_ops per work-item, lds_lanes_per_cycle serviced per CU.
-    perf.t_lds = inv.lds_lane_ops /
-                 (cus * cfg.lds_lanes_per_cycle * clk) *
-                 perf.imbalance_factor;
-
-    //
-    // Memory traffic.
-    //
-    perf.t_l1 = inv.l1_bytes / cfg.peakL1Bw() * perf.imbalance_factor;
-
-    const XbarState xbar = computeXbar(cfg);
-    perf.t_l2 = cu.l2_bytes / xbar.effective_bw;
-
-    const MemorySystem mem(cfg);
-    perf.t_dram = cu.dram_bytes / mem.peakBandwidth();
-
-    //
+batch::CuTerms
+AnalyticModel::makeCuTerms(const Invariants &inv, const CuState &cu,
+                           const CuUnits &units,
+                           const GpuConfig &arch) const
+{
+    batch::CuTerms t;
+    t.imbalance = cu.imbalance;
+    t.simd_units = units.simd_units;
+    t.lds_units = units.lds_units;
+    t.l1_units = units.l1_units;
+    t.xbar_units = units.xbar_units;
+    t.l2_bytes = cu.l2_bytes;
+    t.dram_bytes = cu.dram_bytes;
     // Atomics: a fixed global pipeline plus contention-driven retries
     // that grow with the number of concurrently active waves.
-    //
-    if (inv.total_atomics > 0) {
-        perf.t_atomic = inv.total_atomics * cu.retry_mult /
-                        (cfg.atomic_ops_per_cycle * clk);
-    }
+    t.atomic_num = inv.total_atomics * cu.retry_mult;
+    t.l1_lat_num = cu.l1_frac * arch.l1_latency_cycles;
+    t.l2_frac = cu.l2_frac;
+    t.dram_frac = cu.dram_access_frac;
+    t.concurrency = cu.concurrency;
+    return t;
+}
 
-    //
-    // Closed-system latency bound: with N concurrent wavefronts each
-    // alternating compute segments and memory-dependency chains, the
-    // asymptotic runtime is total_waves x wave_time / N using the
-    // *unloaded* latency (bounds analysis for closed queueing
-    // networks).  Saturation is not modelled by inflating latency —
-    // the bandwidth terms already in the roofline max() cap the
-    // throughput — which keeps the model monotone in both clocks.
-    //
-    const double avg_latency =
-        cu.l1_frac * cfg.l1_latency_cycles / clk +
-        cu.l2_frac * (cfg.l2_latency_cycles / clk + xbar.latency_s) +
-        cu.dram_access_frac *
-            (cfg.l2_latency_cycles / clk + mem.unloadedLatency());
-    const double wave_time =
-        inv.compute_cycles_per_wave / clk + inv.barrier_cycles / clk +
-        inv.chains * avg_latency;
-    perf.t_latency = inv.total_waves * wave_time / cu.concurrency;
+namespace {
 
-    const double t_core =
-        std::max({perf.t_compute, perf.t_lds, perf.t_l1, perf.t_l2,
-                  perf.t_dram, perf.t_atomic, perf.t_latency});
+/**
+ * Fill every KernelPerf field of one point from the flat operands:
+ * the roofline terms, bound selection, the Amdahl fold, per-launch
+ * host overhead, and the delivered-rate bookkeeping.  Shared by the
+ * scalar estimatePoint() and the batched row reconstitution, so the
+ * two fill rows identically by construction.
+ *
+ * `serial_core_s` is the one-CU machine's kernel time (its roofline
+ * max), ignored when serial_fraction is zero.
+ */
+void
+assemblePoint(KernelPerf &perf, const batch::CoreTerms &ct,
+              double t_dram, double dram_bytes, const MemorySystem &mem,
+              double serial_fraction, double serial_core_s,
+              double launches, double launch_overhead_s,
+              double total_flops)
+{
+    perf.t_compute = ct.t_compute;
+    perf.t_lds = ct.t_lds;
+    perf.t_l1 = ct.t_l1;
+    perf.t_l2 = ct.t_l2;
+    perf.t_dram = t_dram;
+    perf.t_atomic = ct.t_atomic;
+    perf.t_latency = ct.t_latency;
+
+    const double t_core = std::max(ct.base_max, t_dram);
     perf.kernel_time_s = t_core;
 
     // Delivered-bandwidth bookkeeping (reporting only).
-    const double demand_bw = t_core > 0 ? cu.dram_bytes / t_core : 0.0;
+    const double demand_bw = t_core > 0 ? dram_bytes / t_core : 0.0;
     const DramState dram_state = mem.evaluate(demand_bw);
     perf.achieved_dram_bw = dram_state.achieved_bw;
     perf.dram_utilization = dram_state.utilization;
 
-    const double max_term = t_core;
     perf.bound = BoundResource::Compute;
     struct { double t; BoundResource r; } terms[] = {
         { perf.t_compute, BoundResource::Compute },
@@ -272,14 +285,38 @@ AnalyticModel::parallelPhase(const KernelDesc &kernel,
         { perf.t_latency, BoundResource::Latency },
     };
     for (const auto &term : terms) {
-        if (term.t >= max_term) {
+        if (term.t >= t_core) {
             perf.bound = term.r;
             break;
         }
     }
 
-    return perf;
+    //
+    // Amdahl: a serial fraction of the work executes at single-CU
+    // throughput regardless of the machine size.
+    //
+    double serial_time = 0.0;
+    if (serial_fraction > 0.0) {
+        serial_time = serial_fraction * serial_core_s;
+        perf.kernel_time_s =
+            (1.0 - serial_fraction) * perf.kernel_time_s + serial_time;
+    }
+
+    perf.t_launch = launch_overhead_s;
+
+    const double per_launch = perf.kernel_time_s + perf.t_launch;
+    perf.time_s = launches * per_launch;
+    perf.t_serial = launches * serial_time;
+
+    if (perf.t_launch > perf.kernel_time_s)
+        perf.bound = BoundResource::Launch;
+
+    // Delivered rates over the whole run.
+    perf.achieved_gflops =
+        perf.time_s > 0 ? total_flops / perf.time_s / 1e9 : 0.0;
 }
+
+} // namespace
 
 KernelPerf
 AnalyticModel::estimatePoint(const KernelDesc &kernel,
@@ -288,44 +325,43 @@ AnalyticModel::estimatePoint(const KernelDesc &kernel,
                              const CuState &cu,
                              const CuState &serial_cu) const
 {
-    KernelPerf perf = parallelPhase(kernel, cfg, inv, cu);
+    KernelPerf perf;
+    perf.occupancy = cu.occ;
+    perf.cache = cu.cache;
+    perf.imbalance_factor = cu.imbalance;
 
-    //
-    // Amdahl: a serial fraction of the work executes at single-CU
-    // throughput regardless of the machine size.
-    //
-    double serial_time = 0.0;
+    // Derive per point the same flat operands the batched plan hoists
+    // (computeCuUnits / computeClockTerms / makeCuTerms), then run
+    // the shared clock-domain helper — the bitwise contract between
+    // the scalar and batched paths in one place.
+    const batch::KernelTerms kt = kernelTerms(inv);
+    const ClockTerms clock = computeClockTerms(cfg);
+    const batch::CuTerms terms =
+        makeCuTerms(inv, cu, computeCuUnits(cfg.num_cus, cfg), cfg);
+    const double core_time_s =
+        inv.compute_cycles_per_wave / clock.clk_hz +
+        inv.barrier_cycles / clock.clk_hz;
+    const batch::CoreTerms ct = batch::computeCoreTerms(
+        kt, terms, clock.clk_hz, core_time_s, clock.l2_hop_s,
+        clock.dram_hop_s, clock.atomic_rate);
+
+    const MemorySystem mem(cfg);
+    const double t_dram = terms.dram_bytes / mem.peakBandwidth();
+
+    double serial_core_s = 0.0;
     if (kernel.serial_fraction > 0.0) {
-        GpuConfig one_cu = cfg;
-        one_cu.num_cus = 1;
-        const KernelPerf serial_perf =
-            parallelPhase(kernel, one_cu, inv, serial_cu);
-        serial_time = kernel.serial_fraction * serial_perf.kernel_time_s;
-        perf.kernel_time_s =
-            (1.0 - kernel.serial_fraction) * perf.kernel_time_s +
-            serial_time;
+        const batch::CuTerms s_terms =
+            makeCuTerms(inv, serial_cu, computeCuUnits(1, cfg), cfg);
+        const batch::CoreTerms s_ct = batch::computeCoreTerms(
+            kt, s_terms, clock.clk_hz, core_time_s, clock.l2_hop_s,
+            clock.dram_hop_s, clock.atomic_rate);
+        const double s_dram = s_terms.dram_bytes / mem.peakBandwidth();
+        serial_core_s = std::max(s_ct.base_max, s_dram);
     }
 
-    perf.t_launch = cu.disp.launch_overhead_s;
-
-    const double per_launch = perf.kernel_time_s + perf.t_launch;
-    perf.time_s = static_cast<double>(kernel.launches) * per_launch;
-    perf.t_serial =
-        static_cast<double>(kernel.launches) * serial_time;
-
-    if (perf.t_launch > perf.kernel_time_s)
-        perf.bound = BoundResource::Launch;
-
-    //
-    // Delivered rates over the whole run.
-    //
-    const double total_flops =
-        static_cast<double>(kernel.launches) *
-        static_cast<double>(kernel.totalWorkItems()) *
-        (kernel.valu_ops + 4.0 * kernel.sfu_ops);
-    perf.achieved_gflops =
-        perf.time_s > 0 ? total_flops / perf.time_s / 1e9 : 0.0;
-
+    assemblePoint(perf, ct, t_dram, terms.dram_bytes, mem,
+                  kernel.serial_fraction, serial_core_s, inv.launches,
+                  cu.disp.launch_overhead_s, inv.total_flops);
     return perf;
 }
 
@@ -353,6 +389,91 @@ AnalyticModel::estimate(const KernelDesc &kernel,
     return estimatePoint(kernel, cfg, inv, cu, serial_cu);
 }
 
+batch::BatchPlan
+AnalyticModel::buildPlan(const KernelDesc &kernel,
+                         const ConfigGrid &grid, const Invariants &inv,
+                         std::vector<CuState> *states) const
+{
+    batch::BatchPlan plan;
+    plan.kernel = kernelTerms(inv);
+    plan.has_serial = kernel.serial_fraction > 0.0;
+    plan.serial_fraction = kernel.serial_fraction;
+    plan.parallel_fraction = 1.0 - kernel.serial_fraction;
+    plan.launches = inv.launches;
+    plan.total_flops = inv.total_flops;
+
+    const GridPlanes planes = grid.planes();
+    plan.core_clk_hz = planes.core_clk_hz;
+    plan.atomic_rate = planes.atomic_rate;
+    plan.l2_hop_s = planes.l2_hop_s;
+    plan.dram_hop_s = planes.dram_hop_s;
+    plan.dram_bw = planes.dram_bw;
+    plan.core_time_s.reserve(planes.core_clk_hz.size());
+    for (const double clk : planes.core_clk_hz) {
+        plan.core_time_s.push_back(inv.compute_cycles_per_wave / clk +
+                                   inv.barrier_cycles / clk);
+    }
+
+    // Any grid point supplies the fixed microarchitecture parameters.
+    const GpuConfig arch = grid.at(0, 0, 0);
+    plan.cu.reserve(grid.numCu());
+    if (states)
+        states->reserve(grid.numCu());
+    for (size_t cu_i = 0; cu_i < grid.numCu(); ++cu_i) {
+        // Occupancy, cache, quantization, dispatch: once per CU
+        // setting, reused across all clock pairs.
+        const CuState cu =
+            computeCuState(kernel, grid.at(cu_i, 0, 0), inv);
+        plan.cu.push_back(makeCuTerms(inv, cu, planes.cu[cu_i], arch));
+        if (cu_i == 0)
+            plan.launch_overhead_s = cu.disp.launch_overhead_s;
+        if (states)
+            states->push_back(cu);
+    }
+
+    // The Amdahl phase always runs on a one-CU machine, so its
+    // clock-independent state is shared by the entire grid.
+    if (plan.has_serial) {
+        GpuConfig one_cu = arch;
+        one_cu.num_cus = 1;
+        const CuState serial_cu = computeCuState(kernel, one_cu, inv);
+        plan.serial_cu =
+            makeCuTerms(inv, serial_cu, computeCuUnits(1, arch), arch);
+    }
+    return plan;
+}
+
+batch::BatchPlan
+AnalyticModel::prepareBatch(const KernelDesc &kernel,
+                            const ConfigGrid &grid) const
+{
+    kernel.validate();
+    grid.validate();
+    const Invariants inv = computeInvariants(kernel, grid.at(0, 0, 0));
+    return buildPlan(kernel, grid, inv, nullptr);
+}
+
+std::vector<double>
+AnalyticModel::evaluateGridRuntimes(const KernelDesc &kernel,
+                                    const ConfigGrid &grid) const
+{
+    static obs::ShardedCounter &evaluations =
+        obs::Registry::instance().shardedCounter(
+            "model.analytic.estimates",
+            "analytic-model evaluations");
+    static obs::ShardedCounter &batches =
+        obs::Registry::instance().shardedCounter(
+            "model.analytic.grid.batches",
+            "batched grid evaluations");
+    evaluations.inc(grid.size());
+    batches.inc();
+
+    const batch::BatchPlan plan = prepareBatch(kernel, grid);
+    std::vector<double> out(grid.size());
+    batch::runBatch(plan, out.data());
+    return out;
+}
+
 std::vector<KernelPerf>
 AnalyticModel::evaluateGrid(const KernelDesc &kernel,
                             const ConfigGrid &grid) const
@@ -370,32 +491,67 @@ AnalyticModel::evaluateGrid(const KernelDesc &kernel,
 
     kernel.validate();
     grid.validate();
+    const Invariants inv = computeInvariants(kernel, grid.at(0, 0, 0));
 
-    // Any grid point supplies the fixed microarchitecture parameters.
-    const GpuConfig arch = grid.at(0, 0, 0);
-    const Invariants inv = computeInvariants(kernel, arch);
+    // Reconstitute full KernelPerf rows from the same flat plan the
+    // runtimes path feeds to batch::runBatch(): the roofline terms
+    // hoist to the (CU, core clock) level, the per-point work is the
+    // memory-clock arithmetic plus assemblePoint(), and the
+    // occupancy/cache snapshots come from the retained CuStates.
+    std::vector<CuState> states;
+    const batch::BatchPlan plan = buildPlan(kernel, grid, inv, &states);
 
-    // The Amdahl phase always runs on a one-CU machine, so its
-    // clock-independent state is shared by the entire grid.
-    CuState serial_cu;
-    if (kernel.serial_fraction > 0.0) {
-        GpuConfig one_cu = arch;
-        one_cu.num_cus = 1;
-        serial_cu = computeCuState(kernel, one_cu, inv);
+    // The DRAM model depends only on the memory clock: one instance
+    // per axis value, shared by every row.
+    std::vector<MemorySystem> mem_systems;
+    mem_systems.reserve(grid.numMemClk());
+    for (size_t mem_i = 0; mem_i < grid.numMemClk(); ++mem_i)
+        mem_systems.emplace_back(grid.at(0, 0, mem_i));
+
+    const size_t n_core = grid.numCoreClk();
+    const size_t n_mem = grid.numMemClk();
+
+    // The serial machine's core-domain max is CU-invariant.
+    std::vector<double> serial_base(plan.has_serial ? n_core : 0);
+    for (size_t c = 0; c < serial_base.size(); ++c) {
+        serial_base[c] =
+            batch::computeCoreTerms(plan.kernel, plan.serial_cu,
+                                    plan.core_clk_hz[c],
+                                    plan.core_time_s[c],
+                                    plan.l2_hop_s[c],
+                                    plan.dram_hop_s[c],
+                                    plan.atomic_rate[c])
+                .base_max;
     }
 
     std::vector<KernelPerf> out(grid.size());
     size_t flat = 0;
     for (size_t cu_i = 0; cu_i < grid.numCu(); ++cu_i) {
-        // Occupancy, cache, quantization, dispatch: once per CU
-        // setting, reused across all clock pairs.
-        const CuState cu =
-            computeCuState(kernel, grid.at(cu_i, 0, 0), inv);
-        for (size_t core_i = 0; core_i < grid.numCoreClk(); ++core_i) {
-            for (size_t mem_i = 0; mem_i < grid.numMemClk(); ++mem_i) {
-                out[flat++] = estimatePoint(
-                    kernel, grid.at(cu_i, core_i, mem_i), inv, cu,
-                    serial_cu);
+        const CuState &cu = states[cu_i];
+        const batch::CuTerms &terms = plan.cu[cu_i];
+        for (size_t c = 0; c < n_core; ++c) {
+            const batch::CoreTerms ct = batch::computeCoreTerms(
+                plan.kernel, terms, plan.core_clk_hz[c],
+                plan.core_time_s[c], plan.l2_hop_s[c],
+                plan.dram_hop_s[c], plan.atomic_rate[c]);
+            for (size_t m = 0; m < n_mem; ++m) {
+                KernelPerf &perf = out[flat++];
+                perf.occupancy = cu.occ;
+                perf.cache = cu.cache;
+                perf.imbalance_factor = cu.imbalance;
+                const double t_dram =
+                    terms.dram_bytes / plan.dram_bw[m];
+                double serial_core_s = 0.0;
+                if (plan.has_serial) {
+                    serial_core_s = std::max(
+                        serial_base[c],
+                        plan.serial_cu.dram_bytes / plan.dram_bw[m]);
+                }
+                assemblePoint(perf, ct, t_dram, terms.dram_bytes,
+                              mem_systems[m], plan.serial_fraction,
+                              serial_core_s, plan.launches,
+                              plan.launch_overhead_s,
+                              plan.total_flops);
             }
         }
     }

@@ -21,6 +21,7 @@
 #ifndef GPUSCALE_GPU_ANALYTIC_MODEL_HH
 #define GPUSCALE_GPU_ANALYTIC_MODEL_HH
 
+#include "analytic_batch.hh"
 #include "perf_model.hh"
 
 namespace gpuscale {
@@ -62,19 +63,41 @@ class AnalyticModel : public PerfModel
      *  - per kernel:  launch geometry, instruction mix, byte counts,
      *    barrier cost — everything depending only on the kernel and
      *    the fixed microarchitecture (Invariants);
-     *  - per CU value:  occupancy, cache behaviour, workgroup
-     *    quantization, dispatch — the clock-independent machine state
-     *    (CuState, 11 evaluations instead of 891 on the paper grid);
+     *  - per CU value:  occupancy, cache behaviour (the expensive
+     *    exp() calls), workgroup quantization, dispatch — the
+     *    clock-independent machine state (CuState, 11 evaluations
+     *    instead of 891 on the paper grid);
      *  - per (CU, core clock, memory clock):  only the clock-domain
-     *    arithmetic and the roofline max.
+     *    arithmetic and the roofline max, on the flat SoA operands of
+     *    batch::BatchPlan (see analytic_batch.hh).
      *
-     * Every stage runs the same code as the scalar estimate() path,
-     * so the two are bitwise identical point-for-point — the
+     * Every stage runs the same arithmetic as the scalar estimate()
+     * path — the shared helpers in analytic_batch.hh are called by
+     * both — so the two are bitwise identical point-for-point; the
      * differential tests assert exactly that.
      */
     std::vector<KernelPerf> evaluateGrid(
         const KernelDesc &kernel,
         const ConfigGrid &grid) const override;
+
+    /**
+     * The runtimes-only hot path: stages 1-2 via prepareBatch(),
+     * stage 3 via batch::runBatch() straight into the flat result —
+     * no KernelPerf materialization at all.  This is what the sweep
+     * harness calls and what the >= 8x single-core bench gate
+     * measures.
+     */
+    std::vector<double> evaluateGridRuntimes(
+        const KernelDesc &kernel,
+        const ConfigGrid &grid) const override;
+
+    /**
+     * Stages 1-2: validate, hoist the kernel invariants and per-CU
+     * state, and lay them out flat for batch::runBatch().  Public so
+     * the bench harness can time the stages separately.
+     */
+    batch::BatchPlan prepareBatch(const KernelDesc &kernel,
+                                  const ConfigGrid &grid) const;
 
     std::string name() const override { return "analytic"; }
 
@@ -103,14 +126,23 @@ class AnalyticModel : public PerfModel
                            const GpuConfig &cfg,
                            const Invariants &inv) const;
 
+    /** Copy the stage-1 operands flat (batch::KernelTerms). */
+    batch::KernelTerms kernelTerms(const Invariants &inv) const;
+
+    /** Flatten one CuState into stage-2 operands (batch::CuTerms). */
+    batch::CuTerms makeCuTerms(const Invariants &inv, const CuState &cu,
+                               const CuUnits &units,
+                               const GpuConfig &arch) const;
+
     /**
-     * Device time for the parallel phase of one launch on the given
-     * configuration (no host overhead, no serial fraction).
+     * Stages 1-2 with the CuStates kept: evaluateGrid() needs the
+     * occupancy/cache snapshots for the reconstituted KernelPerf
+     * rows, prepareBatch() discards them.
      */
-    KernelPerf parallelPhase(const KernelDesc &kernel,
-                             const GpuConfig &cfg,
-                             const Invariants &inv,
-                             const CuState &cu) const;
+    batch::BatchPlan buildPlan(const KernelDesc &kernel,
+                               const ConfigGrid &grid,
+                               const Invariants &inv,
+                               std::vector<CuState> *states) const;
 
     /**
      * Full single-point estimate from precomputed stages.  `serial_cu`

@@ -5,11 +5,53 @@
 
 #include "config_grid.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/string_util.hh"
+#include "interconnect.hh"
+#include "memory_system.hh"
 
 namespace gpuscale {
 namespace gpu {
+
+CuUnits
+computeCuUnits(int num_cus, const GpuConfig &arch)
+{
+    // Each product mirrors a scalar-path peak rate with the clock
+    // factored out: simd_units * clk is the t_compute denominator,
+    // l1_units * clk is GpuConfig::peakL1Bw(), l2_units * clk is
+    // peakL2Bw(), and xbar_units * clk is XbarState::effective_bw.
+    // All operands are small integers, so the products are exact and
+    // the deferred clock multiply rounds exactly as the scalar path's
+    // does.
+    CuUnits u;
+    u.cus = static_cast<double>(num_cus);
+    u.simd_units = u.cus * arch.simds_per_cu;
+    u.lds_units = u.cus * arch.lds_lanes_per_cycle;
+    u.l1_units = u.cus * arch.l1_bytes_per_cycle;
+    const double l2_units = static_cast<double>(arch.l2_slices) *
+                            arch.l2_bytes_per_cycle_per_slice;
+    u.xbar_units = std::min(l2_units, u.l1_units);
+    return u;
+}
+
+ClockTerms
+computeClockTerms(const GpuConfig &cfg)
+{
+    // The hops reuse computeXbar() and MemorySystem so the crossbar
+    // traversal constant and the unloaded-latency conversion live in
+    // exactly one place each.
+    ClockTerms t;
+    t.clk_hz = cfg.coreClkHz();
+    t.atomic_rate = cfg.atomic_ops_per_cycle * t.clk_hz;
+    const XbarState xbar = computeXbar(cfg);
+    t.l2_hop_s = cfg.l2_latency_cycles / t.clk_hz + xbar.latency_s;
+    const MemorySystem mem(cfg);
+    t.dram_hop_s =
+        cfg.l2_latency_cycles / t.clk_hz + mem.unloadedLatency();
+    return t;
+}
 
 namespace {
 
@@ -75,6 +117,39 @@ ConfigGrid::validate() const
     // the same fixed parameters.
     at(0, 0, 0).validate();
     at(numCu() - 1, numCoreClk() - 1, numMemClk() - 1).validate();
+}
+
+GridPlanes
+ConfigGrid::planes() const
+{
+    GridPlanes p;
+    p.cu.reserve(numCu());
+    for (const int cu : cu_values)
+        p.cu.push_back(computeCuUnits(cu, base));
+
+    p.core_clk_hz.reserve(numCoreClk());
+    p.atomic_rate.reserve(numCoreClk());
+    p.l2_hop_s.reserve(numCoreClk());
+    p.dram_hop_s.reserve(numCoreClk());
+    for (const double mhz : core_clks_mhz) {
+        GpuConfig cfg = base;
+        cfg.core_clk_mhz = mhz;
+        const ClockTerms t = computeClockTerms(cfg);
+        p.core_clk_hz.push_back(t.clk_hz);
+        p.atomic_rate.push_back(t.atomic_rate);
+        p.l2_hop_s.push_back(t.l2_hop_s);
+        p.dram_hop_s.push_back(t.dram_hop_s);
+    }
+
+    p.mem_clk_hz.reserve(numMemClk());
+    p.dram_bw.reserve(numMemClk());
+    for (const double mhz : mem_clks_mhz) {
+        GpuConfig cfg = base;
+        cfg.mem_clk_mhz = mhz;
+        p.mem_clk_hz.push_back(cfg.memClkHz());
+        p.dram_bw.push_back(cfg.effectiveDramBw());
+    }
+    return p;
 }
 
 std::string

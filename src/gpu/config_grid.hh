@@ -28,6 +28,83 @@
 namespace gpuscale {
 namespace gpu {
 
+/**
+ * Clock-independent throughput units for one compute-unit count.
+ *
+ * Every field is an exact product of small integers, so scaling by a
+ * clock later rounds exactly once — the same single rounding the
+ * scalar path performs when it computes e.g. GpuConfig::peakL1Bw()
+ * directly.  That, plus the monotonicity of IEEE multiplication
+ * (min(a, b) * clk == min(a * clk, b * clk) for positive clk), is
+ * what keeps the plane-based batched walk bitwise identical to the
+ * scalar one.
+ */
+struct CuUnits {
+    /** num_cus as a double. */
+    double cus = 0.0;
+
+    /** SIMDs across active CUs (t_compute denominator / clk). */
+    double simd_units = 0.0;
+
+    /** LDS lanes serviced per cycle across active CUs. */
+    double lds_units = 0.0;
+
+    /** L1 bytes per cycle across active CUs. */
+    double l1_units = 0.0;
+
+    /** Crossbar bytes per cycle: min(L2 slice ports, CU ports). */
+    double xbar_units = 0.0;
+};
+
+/**
+ * Core-clock-domain derived values for one configuration: the
+ * latency hops and rates the analytic model's clock loop consumes.
+ * Derived through the same interconnect/memory helpers as the scalar
+ * path, so the values are bitwise identical by construction.
+ */
+struct ClockTerms {
+    /** Core clock in Hz. */
+    double clk_hz = 0.0;
+
+    /** Global atomic operations per second. */
+    double atomic_rate = 0.0;
+
+    /** L2 hit latency plus crossbar traversal, in seconds. */
+    double l2_hop_s = 0.0;
+
+    /** L2 miss latency plus unloaded DRAM latency, in seconds. */
+    double dram_hop_s = 0.0;
+};
+
+/** Derive the clock-independent units for a CU count. */
+CuUnits computeCuUnits(int num_cus, const GpuConfig &arch);
+
+/** Derive the core-clock-domain values for a configuration. */
+ClockTerms computeClockTerms(const GpuConfig &cfg);
+
+/**
+ * Structure-of-arrays view of a grid: per-axis value arrays plus the
+ * derived per-CU and per-clock vectors, ready for a flat batched
+ * walk.  Materialized by ConfigGrid::planes(); each vector is indexed
+ * by the corresponding axis index.
+ */
+struct GridPlanes {
+    /** Per CU-axis value (CuUnits each). */
+    std::vector<CuUnits> cu;
+
+    /** Per core-clock axis value. @{ */
+    std::vector<double> core_clk_hz;
+    std::vector<double> atomic_rate;
+    std::vector<double> l2_hop_s;
+    std::vector<double> dram_hop_s;
+    /** @} */
+
+    /** Per memory-clock axis value. @{ */
+    std::vector<double> mem_clk_hz;
+    std::vector<double> dram_bw;
+    /** @} */
+};
+
 /** A dense (compute units x core clock x memory clock) grid. */
 struct ConfigGrid {
     /** Compute-unit axis, strictly increasing. */
@@ -55,6 +132,13 @@ struct ConfigGrid {
 
     /** fatal() if an axis is empty, unsorted, or a point is invalid. */
     void validate() const;
+
+    /**
+     * Materialize the structure-of-arrays plane view.  Cheap (one
+     * CuUnits/ClockTerms derivation per axis *value*, not per grid
+     * point); call it fresh per batched evaluation.
+     */
+    GridPlanes planes() const;
 
     /**
      * Locale-independent serialization of the axes and the base

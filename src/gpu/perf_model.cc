@@ -28,5 +28,16 @@ PerfModel::evaluateGrid(const KernelDesc &kernel,
     return out;
 }
 
+std::vector<double>
+PerfModel::evaluateGridRuntimes(const KernelDesc &kernel,
+                                const ConfigGrid &grid) const
+{
+    const std::vector<KernelPerf> perfs = evaluateGrid(kernel, grid);
+    std::vector<double> out(perfs.size());
+    for (size_t i = 0; i < perfs.size(); ++i)
+        out[i] = perfs[i].time_s;
+    return out;
+}
+
 } // namespace gpu
 } // namespace gpuscale

@@ -54,6 +54,21 @@ class PerfModel
     virtual std::vector<KernelPerf> evaluateGrid(
         const KernelDesc &kernel, const ConfigGrid &grid) const;
 
+    /**
+     * Estimate only the end-to-end runtime (KernelPerf::time_s) of
+     * every grid point, in ConfigGrid::flatten order.
+     *
+     * This is the census hot path: the sweep harness keys its cache
+     * on exactly this vector, so overrides must return bitwise the
+     * same doubles evaluateGrid() reports in time_s (the differential
+     * tests assert it).  The base implementation extracts the field
+     * from evaluateGrid(); AnalyticModel overrides it with a flat
+     * structure-of-arrays kernel that skips KernelPerf
+     * materialization entirely (see analytic_batch.hh).
+     */
+    virtual std::vector<double> evaluateGridRuntimes(
+        const KernelDesc &kernel, const ConfigGrid &grid) const;
+
     /** Model name for reports ("analytic", "event"). */
     virtual std::string name() const = 0;
 

@@ -37,15 +37,22 @@ NoisyModel::NoisyModel(const gpu::PerfModel &inner, double sigma,
     fatal_if(sigma < 0, "negative noise sigma %f", sigma);
 }
 
+double
+NoisyModel::noiseFactor(const gpu::KernelDesc &kernel,
+                        const gpu::GpuConfig &cfg) const
+{
+    uint64_t h = hashString(kernel.name, 0xcbf29ce484222325ull ^ seed_);
+    h = hashString(cfg.id(), h);
+    Rng rng(h);
+    return std::exp(rng.normal(0.0, sigma_));
+}
+
 void
 NoisyModel::perturb(const gpu::KernelDesc &kernel,
                     const gpu::GpuConfig &cfg,
                     gpu::KernelPerf &perf) const
 {
-    uint64_t h = hashString(kernel.name, 0xcbf29ce484222325ull ^ seed_);
-    h = hashString(cfg.id(), h);
-    Rng rng(h);
-    const double factor = std::exp(rng.normal(0.0, sigma_));
+    const double factor = noiseFactor(kernel, cfg);
     perf.time_s *= factor;
     perf.kernel_time_s *= factor;
 }
@@ -73,6 +80,25 @@ NoisyModel::evaluateGrid(const gpu::KernelDesc &kernel,
             for (size_t mem_i = 0; mem_i < grid.numMemClk(); ++mem_i) {
                 perturb(kernel, grid.at(cu_i, core_i, mem_i),
                         out[grid.flatten(cu_i, core_i, mem_i)]);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+NoisyModel::evaluateGridRuntimes(const gpu::KernelDesc &kernel,
+                                 const gpu::ConfigGrid &grid) const
+{
+    std::vector<double> out =
+        inner_.evaluateGridRuntimes(kernel, grid);
+    if (sigma_ == 0.0)
+        return out;
+    for (size_t cu_i = 0; cu_i < grid.numCu(); ++cu_i) {
+        for (size_t core_i = 0; core_i < grid.numCoreClk(); ++core_i) {
+            for (size_t mem_i = 0; mem_i < grid.numMemClk(); ++mem_i) {
+                out[grid.flatten(cu_i, core_i, mem_i)] *= noiseFactor(
+                    kernel, grid.at(cu_i, core_i, mem_i));
             }
         }
     }

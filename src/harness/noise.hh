@@ -49,6 +49,15 @@ class NoisyModel : public gpu::PerfModel
         const gpu::KernelDesc &kernel,
         const gpu::ConfigGrid &grid) const override;
 
+    /**
+     * Runtimes hot path: the inner model's flat vector scaled by the
+     * same per-point factor perturb() applies to time_s, preserving
+     * the bitwise contract with evaluateGrid() and estimate().
+     */
+    std::vector<double> evaluateGridRuntimes(
+        const gpu::KernelDesc &kernel,
+        const gpu::ConfigGrid &grid) const override;
+
     std::string name() const override;
 
     /**
@@ -62,6 +71,9 @@ class NoisyModel : public gpu::PerfModel
     uint64_t seed() const { return seed_; }
 
   private:
+    double noiseFactor(const gpu::KernelDesc &kernel,
+                       const gpu::GpuConfig &cfg) const;
+
     void perturb(const gpu::KernelDesc &kernel,
                  const gpu::GpuConfig &cfg,
                  gpu::KernelPerf &perf) const;

@@ -3,10 +3,12 @@
  * Sweep harness implementation.
  *
  * The hot path is batched and sharded: each kernel is one
- * PerfModel::evaluateGrid() call (the model hoists grid-invariant
- * work), consulted through the SweepCache first, and kernels are
- * distributed across the worker pool in contiguous shards rather than
- * one dispatch per kernel.
+ * PerfModel::evaluateGridRuntimes() call (the model hoists
+ * grid-invariant work into a flat SoA plan and returns the runtime
+ * vector directly — no KernelPerf materialization), consulted
+ * through the SweepCache first, and kernels are distributed across
+ * the worker pool in contiguous shards rather than one dispatch per
+ * kernel.  The flat vector feeds the sweep cache as-is.
  */
 
 #include "sweep.hh"
@@ -94,18 +96,13 @@ sweepOne(const gpu::PerfModel &model, const gpu::KernelDesc &kernel,
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<gpu::KernelPerf> perfs =
-        model.evaluateGrid(kernel, grid);
+    runtimes = model.evaluateGridRuntimes(kernel, grid);
     const auto t1 = std::chrono::steady_clock::now();
 
-    runtimes.resize(perfs.size());
-    for (size_t i = 0; i < perfs.size(); ++i)
-        runtimes[i] = perfs[i].time_s;
-
-    metrics.estimates.inc(perfs.size());
+    metrics.estimates.inc(runtimes.size());
     metrics.latency.record(
         std::chrono::duration<double>(t1 - t0).count() /
-        static_cast<double>(std::max<size_t>(1, perfs.size())));
+        static_cast<double>(std::max<size_t>(1, runtimes.size())));
 
     SweepCache::instance().insert(key, runtimes);
     debuglog("swept %s: %zu configs", kernel.name.c_str(),

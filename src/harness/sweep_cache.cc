@@ -13,6 +13,9 @@
 
 #include "sweep_cache.hh"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -342,7 +345,17 @@ SweepCache::diskInsert(const std::string &key,
         return;
 
     CacheMetrics &metrics = CacheMetrics::get();
-    const std::string tmp = path + ".tmp";
+    // The staging name must be unique per writer: two processes
+    // sharing a cache directory and racing on the same key would
+    // otherwise interleave writes into one "<path>.tmp" file and
+    // rename a torn entry into place.  pid + a process-local counter
+    // keeps every writer (and every retry) on its own file, so the
+    // rename is the only shared step — and rename is atomic, so the
+    // survivor is always one writer's complete entry.
+    static std::atomic<uint64_t> tmp_serial{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(tmp_serial.fetch_add(1));
     const bool ok = obs::retryWithBackoff(
         obs::retryPolicy(), "sweep-cache disk write", [&] {
             if (faultPoint("sweep_cache.disk.write"))

@@ -168,6 +168,37 @@ TEST(AnalyticModelTest, SerialFractionCapsSpeedup)
     EXPECT_LT(lo.time_s / hi.time_s, 4.5);
 }
 
+TEST(AnalyticModelTest, FingerprintIsSensitiveToEveryParam)
+{
+    // The sweep cache keys on fingerprint(): a parameter it misses
+    // would serve one model's cached runtimes to a differently-tuned
+    // model — silent corruption.  Perturb each AnalyticParams field
+    // in turn and require a distinct fingerprint.  The companion
+    // sizeof static_assert in analytic_model.cc forces new fields
+    // through here.
+    const std::string base = AnalyticModel{}.fingerprint();
+    ASSERT_FALSE(base.empty());
+    EXPECT_EQ(base, AnalyticModel{}.fingerprint());
+
+    const auto perturbed = [&](auto mutate) {
+        AnalyticParams p;
+        mutate(p);
+        return AnalyticModel(p).fingerprint();
+    };
+    EXPECT_NE(base, perturbed([](AnalyticParams &p) {
+        p.barrier_cycles_per_wave += 1.0;
+    }));
+    EXPECT_NE(base, perturbed([](AnalyticParams &p) {
+        p.barrier_base_cycles += 1.0;
+    }));
+    EXPECT_NE(base, perturbed([](AnalyticParams &p) {
+        p.atomic_retry_scale += 1.0;
+    }));
+    EXPECT_NE(base, perturbed([](AnalyticParams &p) {
+        p.atomic_reference_waves += 1.0;
+    }));
+}
+
 TEST(AnalyticModelTest, BreakdownIsConsistentWithTotal)
 {
     const AnalyticModel model;

@@ -19,6 +19,7 @@
 #include "scaling/config_space.hh"
 #include "scaling/surface.hh"
 #include "scaling/taxonomy.hh"
+#include "workloads/archetypes.hh"
 #include "workloads/registry.hh"
 
 namespace gpuscale {
@@ -185,6 +186,135 @@ TEST(GridDifferentialTest, NoisyBatchedMatchesNoisyScalar)
         EXPECT_EQ(batched[i].time_s,
                   noisy.estimate(*kernel, space.at(i)).time_s);
     }
+}
+
+TEST(GridDifferentialTest, RuntimesHotPathMatchesEvaluateGridAllKernels)
+{
+    // evaluateGridRuntimes() is what the sweep harness actually calls:
+    // the flat vector must be bitwise identical to evaluateGrid()'s
+    // time_s for every zoo kernel and every paper-grid point.
+    const gpu::AnalyticModel model;
+    const gpu::ConfigGrid grid =
+        scaling::ConfigSpace::paperGrid().grid();
+    const auto kernels =
+        workloads::WorkloadRegistry::instance().allKernels();
+
+    for (const auto *kernel : kernels) {
+        const auto full = model.evaluateGrid(*kernel, grid);
+        const auto runtimes = model.evaluateGridRuntimes(*kernel, grid);
+        ASSERT_EQ(runtimes.size(), grid.size()) << kernel->name;
+        for (size_t i = 0; i < grid.size(); ++i) {
+            ASSERT_EQ(runtimes[i], full[i].time_s)
+                << kernel->name << " at flat=" << i;
+        }
+    }
+}
+
+/** An axes-only grid inheriting the default base machine. */
+gpu::ConfigGrid
+customGrid(std::vector<int> cus, std::vector<double> cores,
+           std::vector<double> mems)
+{
+    gpu::ConfigGrid grid;
+    grid.cu_values = std::move(cus);
+    grid.core_clks_mhz = std::move(cores);
+    grid.mem_clks_mhz = std::move(mems);
+    return grid;
+}
+
+/**
+ * Drive the scalar oracle, evaluateGrid(), and evaluateGridRuntimes()
+ * over one grid and require bitwise agreement at every point.
+ */
+void
+expectBitwiseMatch(const gpu::PerfModel &model,
+                   const gpu::KernelDesc &kernel,
+                   const gpu::ConfigGrid &grid)
+{
+    const auto batched = model.evaluateGrid(kernel, grid);
+    const auto runtimes = model.evaluateGridRuntimes(kernel, grid);
+    ASSERT_EQ(batched.size(), grid.size()) << kernel.name;
+    ASSERT_EQ(runtimes.size(), grid.size()) << kernel.name;
+    for (size_t cu = 0; cu < grid.numCu(); ++cu) {
+        for (size_t core = 0; core < grid.numCoreClk(); ++core) {
+            for (size_t mem = 0; mem < grid.numMemClk(); ++mem) {
+                const size_t i = grid.flatten(cu, core, mem);
+                const gpu::KernelPerf scalar =
+                    model.estimate(kernel, grid.at(cu, core, mem));
+                ASSERT_EQ(batched[i].time_s, scalar.time_s)
+                    << kernel.name << " cu=" << cu << " core=" << core
+                    << " mem=" << mem;
+                ASSERT_EQ(runtimes[i], scalar.time_s)
+                    << kernel.name << " cu=" << cu << " core=" << core
+                    << " mem=" << mem;
+            }
+        }
+    }
+}
+
+TEST(GridDifferentialTest, DegenerateGridsMatchScalarBitwise)
+{
+    // The paper grid's axis lengths are comfortable; the hoisted SoA
+    // walk must also survive the shapes that break loop bookkeeping:
+    // a single-point grid, single-point axes in each dimension, and a
+    // 1-CU axis (which routes through the serial-machine path used
+    // for Amdahl folding).
+    const gpu::AnalyticModel model;
+    const gpu::KernelDesc kernel = workloads::streaming(
+        "diff/degenerate/stream", {.wgs = 512, .wi_per_wg = 256});
+
+    expectBitwiseMatch(model, kernel, customGrid({44}, {1000.0}, {1250.0}));
+    expectBitwiseMatch(model, kernel,
+                       customGrid({1}, {300.0, 711.0, 1000.0}, {950.0}));
+    expectBitwiseMatch(
+        model, kernel,
+        customGrid({8}, {455.0}, {150.0, 475.0, 925.0, 1375.0}));
+    expectBitwiseMatch(model, kernel,
+                       customGrid({1, 4}, {400.0, 800.0}, {500.0}));
+}
+
+TEST(GridDifferentialTest, IrregularAxisLengthsMatchScalarBitwise)
+{
+    // Axis lengths that do not divide the SIMD width (13 core clocks,
+    // 7 memory clocks, 5 CU counts) force the vectorized stage-3 loop
+    // through its scalar epilogue; kernels with atomics and a serial
+    // fraction exercise every branch of the batched kernel.
+    const gpu::AnalyticModel model;
+    std::vector<double> cores, mems;
+    for (int i = 0; i < 13; ++i)
+        cores.push_back(307.0 + 53.0 * i);
+    for (int i = 0; i < 7; ++i)
+        mems.push_back(211.0 + 171.0 * i);
+    const gpu::ConfigGrid grid =
+        customGrid({1, 3, 7, 13, 44}, cores, mems);
+
+    const gpu::KernelDesc stream = workloads::streaming(
+        "diff/irregular/stream", {.wgs = 1024, .wi_per_wg = 256});
+    const gpu::KernelDesc contended = workloads::reduction(
+        "diff/irregular/reduce", {.wgs = 768, .wi_per_wg = 128}, 0.8);
+    const gpu::KernelDesc compute = workloads::denseCompute(
+        "diff/irregular/dense", {.wgs = 2048, .wi_per_wg = 64});
+
+    ASSERT_GT(contended.atomic_ops, 0.0);
+    ASSERT_GT(contended.serial_fraction, 0.0);
+    expectBitwiseMatch(model, stream, grid);
+    expectBitwiseMatch(model, contended, grid);
+    expectBitwiseMatch(model, compute, grid);
+}
+
+TEST(GridDifferentialTest, NoisyRuntimesMatchNoisyScalarOnIrregularGrid)
+{
+    // The decorator's runtimes hot path must replay the exact
+    // per-point lognormal factor on awkward grid shapes too.
+    const gpu::AnalyticModel inner;
+    const harness::NoisyModel noisy(inner, 0.07, 9);
+    const gpu::ConfigGrid grid = customGrid(
+        {1, 11, 44}, {333.0, 666.0, 999.0}, {200.0, 650.0, 1100.0,
+        1400.0});
+    const gpu::KernelDesc kernel = workloads::reduction(
+        "diff/noisy/reduce", {.wgs = 256, .wi_per_wg = 256}, 0.5);
+
+    expectBitwiseMatch(noisy, kernel, grid);
 }
 
 TEST(GridDifferentialTest, GridFlattenMatchesConfigSpace)
