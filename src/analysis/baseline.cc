@@ -1,0 +1,68 @@
+#include "baseline.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gpuscale {
+namespace analysis {
+
+std::string
+baselineKey(const Finding &f)
+{
+    // Messages never contain newlines; '|' inside a message is
+    // harmless since keys are compared whole.
+    return f.rule + "|" + f.file + "|" + f.message;
+}
+
+std::set<std::string>
+parseBaseline(const std::string &text)
+{
+    std::set<std::string> keys;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        keys.insert(line);
+    }
+    return keys;
+}
+
+std::string
+renderBaseline(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const auto &f : findings)
+        keys.push_back(baselineKey(f));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::string out =
+        "# gpuscale-lint findings baseline.\n"
+        "# One `rule|file|message` key per line; regenerate with\n"
+        "#   gpuscale-lint --root=. --write-baseline=ci/"
+        "lint_baseline.txt\n";
+    for (const auto &k : keys) {
+        out += k;
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<Finding>
+diffAgainstBaseline(const std::vector<Finding> &findings,
+                    const std::set<std::string> &baseline)
+{
+    std::vector<Finding> fresh;
+    for (const auto &f : findings)
+        if (!baseline.count(baselineKey(f)))
+            fresh.push_back(f);
+    return fresh;
+}
+
+} // namespace analysis
+} // namespace gpuscale

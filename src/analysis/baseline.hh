@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Findings baseline for gpuscale-lint.
+ *
+ * A baseline is the committed list of findings a tree is allowed to
+ * carry (ci/lint_baseline.txt).  With `--baseline=FILE --diff`, CI
+ * fails only on findings *not* in the baseline, so a new rule can
+ * land with its pre-existing debt recorded instead of blocking every
+ * PR until the whole tree is clean.
+ *
+ * Keys are `rule|file|message` — deliberately line-agnostic, so an
+ * unrelated edit that shifts a baselined finding by a few lines does
+ * not resurrect it.  The file format is one key per line; `#` lines
+ * and blank lines are comments.
+ */
+
+#ifndef GPUSCALE_ANALYSIS_BASELINE_HH
+#define GPUSCALE_ANALYSIS_BASELINE_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hh"
+
+namespace gpuscale {
+namespace analysis {
+
+/** Stable identity of a finding: "rule|file|message". */
+std::string baselineKey(const Finding &f);
+
+/** Parse a baseline file's contents into its key set. */
+std::set<std::string> parseBaseline(const std::string &text);
+
+/** Render findings as a sorted, deduplicated baseline file. */
+std::string renderBaseline(const std::vector<Finding> &findings);
+
+/** Findings whose key is absent from the baseline, in input order. */
+std::vector<Finding>
+diffAgainstBaseline(const std::vector<Finding> &findings,
+                    const std::set<std::string> &baseline);
+
+} // namespace analysis
+} // namespace gpuscale
+
+#endif // GPUSCALE_ANALYSIS_BASELINE_HH

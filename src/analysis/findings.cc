@@ -23,12 +23,17 @@ severityName(Severity s)
 std::string
 Finding::render() const
 {
+    std::string out;
     if (file.empty())
-        return strprintf("%s: [%s] %s", severityName(severity).c_str(),
-                         rule.c_str(), message.c_str());
-    return strprintf("%s:%d: %s: [%s] %s", file.c_str(), line,
-                     severityName(severity).c_str(), rule.c_str(),
-                     message.c_str());
+        out = strprintf("%s: [%s] %s", severityName(severity).c_str(),
+                        rule.c_str(), message.c_str());
+    else
+        out = strprintf("%s:%d: %s: [%s] %s", file.c_str(), line,
+                        severityName(severity).c_str(), rule.c_str(),
+                        message.c_str());
+    if (!hint.empty())
+        out += strprintf(" (fix: %s)", hint.c_str());
+    return out;
 }
 
 void

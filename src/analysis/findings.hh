@@ -35,8 +35,10 @@ struct Finding {
     std::string file; ///< repo-relative path ("" for repo-wide)
     int line = 0;     ///< 1-based; 0 for repo-wide findings
     std::string message;
+    std::string hint; ///< optional fix-it suggestion ("" for none)
 
-    /** The rendered "file:line: severity: [rule] message" form. */
+    /** The rendered "file:line: severity: [rule] message" form,
+     *  with "(fix: hint)" appended when a hint is present. */
     std::string render() const;
 };
 

@@ -11,8 +11,14 @@
  * `std::thread::hardware_concurrency()` is a capacity query, not a
  * spawn, and is always fine; `std::lock_guard<std::mutex>` only
  * *uses* a declared mutex, so template arguments are exempt too.
+ *
+ * A mutex whose name appears in a `// guarded_by(...)` annotation in
+ * the same file is also exempt: the lock-discipline rule then
+ * enforces, per field access, what the allow(concurrency) comment
+ * could only assert.
  */
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -50,7 +56,7 @@ class ConcurrencyRule : public Rule
         Report &report) const override
     {
         for (const auto &file : repo.files) {
-            if (isPoolFile(file.path()))
+            if (!file.isCpp() || isPoolFile(file.path()))
                 continue;
             checkThreads(file, report);
             checkDetach(file, report);
@@ -101,6 +107,13 @@ class ConcurrencyRule : public Rule
     void
     checkMutexes(const SourceFile &file, Report &report) const
     {
+        // Mutexes referenced from a guarded_by annotation are
+        // governed by the lock-discipline rule instead.
+        std::set<std::string> disciplined;
+        for (const auto &guard : file.guardAnnotations())
+            if (!guard.mutex.empty())
+                disciplined.insert(guard.mutex);
+
         for (const auto &prim :
              {std::string("std::mutex"),
               std::string("std::recursive_mutex"),
@@ -126,6 +139,9 @@ class ConcurrencyRule : public Rule
                      std::isalnum(
                          static_cast<unsigned char>(code[after]))))
                     continue;
+                if (!disciplined.empty() &&
+                    disciplined.count(declaredName(code, after)))
+                    continue;
                 emit(file, file.lineOf(off), Severity::Error,
                      strprintf("raw %s outside the harness pool; if "
                                "this module genuinely needs one, add "
@@ -135,6 +151,21 @@ class ConcurrencyRule : public Rule
                      report);
             }
         }
+    }
+
+    /** Identifier declared right after a type mention, if any. */
+    std::string
+    declaredName(const std::string &code, size_t after) const
+    {
+        size_t i = after;
+        while (i < code.size() && code[i] == ' ')
+            ++i;
+        size_t begin = i;
+        while (i < code.size() &&
+               (std::isalnum(static_cast<unsigned char>(code[i])) ||
+                code[i] == '_'))
+            ++i;
+        return code.substr(begin, i - begin);
     }
 };
 

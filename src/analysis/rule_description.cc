@@ -38,7 +38,8 @@ class DescriptionRule : public Rule
         Report &report) const override
     {
         for (const auto &file : repo.files)
-            checkRegistrations(file, report);
+            if (file.isCpp())
+                checkRegistrations(file, report);
     }
 
   private:

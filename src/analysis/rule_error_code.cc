@@ -131,6 +131,8 @@ class ErrorCodeRule : public Rule
     {
         static const std::string kType = "std::error_code";
         for (const auto &file : repo.files) {
+            if (!file.isCpp())
+                continue;
             const std::string &code = file.code();
             for (size_t off : findTokens(file, kType)) {
                 // Match a bare declaration `std::error_code NAME ;`

@@ -99,6 +99,8 @@ class LayeringRule : public Rule
         std::map<std::string, std::vector<std::string>> graph;
 
         for (const auto &file : repo.files) {
+            if (!file.isCpp())
+                continue;
             const std::string layer = file.layer();
             if (layer.empty())
                 continue;

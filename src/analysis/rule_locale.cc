@@ -78,7 +78,7 @@ class LocaleRule : public Rule
         Report &report) const override
     {
         for (const auto &file : repo.files) {
-            if (isFormattingHost(file.path()))
+            if (!file.isCpp() || isFormattingHost(file.path()))
                 continue;
             checkParsers(file, report);
             checkFormatters(file, report);

@@ -43,6 +43,8 @@ class NamingRule : public Rule
         Report &report) const override
     {
         for (const auto &file : repo.files) {
+            if (!file.isCpp())
+                continue;
             checkRegistryCalls(file, report);
             checkTraceSpans(file, report);
             checkManifestKeys(file, report);

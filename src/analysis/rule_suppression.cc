@@ -1,0 +1,88 @@
+/**
+ * @file
+ * suppression rule: allow() markers are load-bearing — a typo like
+ * `allow(locl)` parses fine, suppresses nothing, and leaves the
+ * author believing the finding is waived.  This rule makes the
+ * marker itself checkable: every `gpuscale-lint:` comment must parse
+ * as `allow(rule-a, rule-b): reason`, and every rule it names must
+ * be a real rule.
+ */
+
+#include <set>
+#include <string>
+
+#include "analysis/rules.hh"
+#include "base/logging.hh"
+
+namespace gpuscale {
+namespace analysis {
+
+namespace {
+
+class SuppressionRule : public Rule
+{
+  public:
+    std::string name() const override { return "suppression"; }
+
+    std::string
+    description() const override
+    {
+        return "gpuscale-lint: allow() markers parse and name real "
+               "rules";
+    }
+
+    void
+    run(const SourceRepo &repo, const LintOptions &opts,
+        Report &report) const override
+    {
+        const std::set<std::string> known = knownRules(opts);
+        for (const auto &file : repo.files) {
+            for (const auto &note : file.suppressionNotes()) {
+                if (note.malformed) {
+                    emit(file, note.line, Severity::Error,
+                         "malformed gpuscale-lint marker (expected "
+                         "'gpuscale-lint: allow(rule, ...): "
+                         "reason')",
+                         report,
+                         "fix the marker or delete it; an "
+                         "unparseable marker suppresses nothing");
+                    continue;
+                }
+                for (const auto &rule : note.rules) {
+                    if (known.count(rule))
+                        continue;
+                    emit(file, note.line, Severity::Error,
+                         strprintf("allow() names unknown rule "
+                                   "'%s'; it suppresses nothing",
+                                   rule.c_str()),
+                         report,
+                         "run gpuscale-lint --list-rules for the "
+                         "valid names");
+                }
+            }
+        }
+    }
+
+  private:
+    std::set<std::string>
+    knownRules(const LintOptions &opts) const
+    {
+        std::set<std::string> known(opts.known_rules.begin(),
+                                    opts.known_rules.end());
+        if (known.empty())
+            for (const auto &rule : allRules())
+                known.insert(rule->name());
+        return known;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Rule>
+makeSuppressionRule()
+{
+    return std::make_unique<SuppressionRule>();
+}
+
+} // namespace analysis
+} // namespace gpuscale

@@ -33,14 +33,15 @@ isKeySegment(const std::string &s, size_t begin, size_t end,
 
 void
 Rule::emit(const SourceFile &file, int line, Severity severity,
-           std::string message, Report &report) const
+           std::string message, Report &report,
+           std::string hint) const
 {
     if (file.suppressed(line, name())) {
         report.noteSuppressed(name());
         return;
     }
     report.add(Finding{name(), severity, file.path(), line,
-                       std::move(message)});
+                       std::move(message), std::move(hint)});
 }
 
 std::vector<std::unique_ptr<Rule>>
@@ -54,6 +55,10 @@ allRules()
     rules.push_back(makeCensusRule());
     rules.push_back(makeErrorCodeRule());
     rules.push_back(makeDescriptionRule());
+    rules.push_back(makeFpDeterminismRule());
+    rules.push_back(makeFaultCoverageRule());
+    rules.push_back(makeLockDisciplineRule());
+    rules.push_back(makeSuppressionRule());
     return rules;
 }
 

@@ -2,7 +2,7 @@
  * @file
  * Rule interface and registry for gpuscale-lint.
  *
- * Seven rule families keep the repo honest as it grows
+ * Eleven rule families keep the repo honest as it grows
  * (docs/static_analysis.md describes each in depth):
  *
  *  - layering:    includes must respect the layer order
@@ -11,8 +11,9 @@
  *                 include graph must be acyclic.
  *  - concurrency: thread creation and raw mutexes belong to
  *                 harness/thread_pool + harness/parallel; everything
- *                 else goes through parallelFor or carries an
- *                 explicit allow() with a reason.
+ *                 else goes through parallelFor, is governed by
+ *                 guarded_by() annotations (lock-discipline), or
+ *                 carries an explicit allow() with a reason.
  *  - locale:      serialized numbers must use to_chars/from_chars;
  *                 atof/strtod and %g/%e-style strprintf formatting
  *                 are locale-dependent and banned outside
@@ -30,6 +31,22 @@
  *                 histogram() (and the sharded variants) must carry a
  *                 non-empty description — it becomes the "# HELP"
  *                 line and the metrics-table entry operators read.
+ *  - fp-determinism: reassociation-prone float patterns (accumulate/
+ *                 reduce over doubles, unordered-container iteration
+ *                 feeding arithmetic or serialization, fast-math
+ *                 compiler flags) stay out of the census paths, and
+ *                 arithmetic helpers shared by the scalar and batched
+ *                 models are defined once, in a shared header.
+ *  - fault-coverage: every raw I/O call outside base/fault and
+ *                 obs/retry must sit in a scope that calls
+ *                 faultPoint() or retryWithBackoff(), so the
+ *                 resilience layer cannot be bypassed.
+ *  - lock-discipline: fields annotated // guarded_by(mu) may only be
+ *                 touched in scopes that constructed a lock on mu
+ *                 (or in *Locked helpers whose callers hold it).
+ *  - suppression: allow() markers must name real rules; a typoed
+ *                 allow(locl) that silently suppresses nothing is
+ *                 itself a finding.
  */
 
 #ifndef GPUSCALE_ANALYSIS_RULES_HH
@@ -54,6 +71,11 @@ struct CensusExpectation {
 /** Knobs for one lint run (tests override the census numbers). */
 struct LintOptions {
     CensusExpectation census;
+    /**
+     * Valid rule names for the suppression rule; when empty (the
+     * default) the rule derives the set from allRules() itself.
+     */
+    std::vector<std::string> known_rules;
 };
 
 /** One self-contained invariant checker. */
@@ -74,10 +96,13 @@ class Rule
   protected:
     /**
      * Add a finding unless an allow(<rule-name>) comment covers the
-     * line; suppressions are still tallied in the report.
+     * line; suppressions are still tallied in the report.  The
+     * optional hint becomes the rendered "(fix: ...)" suffix and the
+     * SARIF fix-it property.
      */
     void emit(const SourceFile &file, int line, Severity severity,
-              std::string message, Report &report) const;
+              std::string message, Report &report,
+              std::string hint = "") const;
 };
 
 std::unique_ptr<Rule> makeLayeringRule();
@@ -87,6 +112,10 @@ std::unique_ptr<Rule> makeNamingRule();
 std::unique_ptr<Rule> makeCensusRule();
 std::unique_ptr<Rule> makeErrorCodeRule();
 std::unique_ptr<Rule> makeDescriptionRule();
+std::unique_ptr<Rule> makeFpDeterminismRule();
+std::unique_ptr<Rule> makeFaultCoverageRule();
+std::unique_ptr<Rule> makeLockDisciplineRule();
+std::unique_ptr<Rule> makeSuppressionRule();
 
 /** Every rule, in documentation order. */
 std::vector<std::unique_ptr<Rule>> allRules();

@@ -1,0 +1,85 @@
+#include "sarif.hh"
+
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace gpuscale {
+namespace analysis {
+
+std::string
+renderSarif(const std::vector<Finding> &findings,
+            const std::vector<SarifRuleInfo> &rules)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+
+    w.beginObject();
+    w.key("$schema")
+        .value("https://json.schemastore.org/sarif-2.1.0.json");
+    w.key("version").value("2.1.0");
+    w.key("runs").beginArray().beginObject();
+
+    w.key("tool").beginObject().key("driver").beginObject();
+    w.key("name").value("gpuscale-lint");
+    w.key("informationUri")
+        .value("https://example.invalid/gpuscale/docs/"
+               "static_analysis.md");
+    w.key("rules").beginArray();
+    for (const auto &rule : rules) {
+        w.beginObject();
+        w.key("id").value(rule.name);
+        w.key("shortDescription").beginObject();
+        w.key("text").value(rule.description);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();    // rules
+    w.endObject();   // driver
+    w.endObject();   // tool
+
+    w.key("results").beginArray();
+    for (const auto &f : findings) {
+        w.beginObject();
+        w.key("ruleId").value(f.rule);
+        w.key("level").value(f.severity == Severity::Error
+                                 ? "error"
+                                 : "warning");
+        w.key("message").beginObject();
+        w.key("text").value(f.message);
+        w.endObject();
+        // Repo-wide findings (census totals) carry no location.
+        if (!f.file.empty()) {
+            w.key("locations").beginArray().beginObject();
+            w.key("physicalLocation").beginObject();
+            w.key("artifactLocation").beginObject();
+            w.key("uri").value(f.file);
+            w.endObject(); // artifactLocation
+            if (f.line > 0) {
+                w.key("region").beginObject();
+                w.key("startLine").value(f.line);
+                w.endObject();
+            }
+            w.endObject(); // physicalLocation
+            w.endObject().endArray(); // locations
+        }
+        if (!f.hint.empty()) {
+            w.key("properties").beginObject();
+            w.key("hint").value(f.hint);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray(); // results
+
+    w.endObject(); // run
+    w.endArray();  // runs
+    w.endObject();
+
+    std::string out = os.str();
+    out += '\n';
+    return out;
+}
+
+} // namespace analysis
+} // namespace gpuscale

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering for gpuscale-lint.
+ *
+ * SARIF (Static Analysis Results Interchange Format) is the schema
+ * GitHub code scanning and most IDE lint panels ingest.  The CI lint
+ * job uploads the file produced by `gpuscale-lint --sarif=out.sarif`
+ * so findings annotate the PR diff instead of hiding in a log.
+ *
+ * We emit the minimal valid document: one run, the tool driver with
+ * per-rule metadata, and one result per finding with a physical
+ * location.  Fix-it hints ride in the result's property bag.
+ */
+
+#ifndef GPUSCALE_ANALYSIS_SARIF_HH
+#define GPUSCALE_ANALYSIS_SARIF_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hh"
+
+namespace gpuscale {
+namespace analysis {
+
+/** Rule metadata included in the SARIF tool.driver.rules array. */
+struct SarifRuleInfo {
+    std::string name;
+    std::string description;
+};
+
+/**
+ * Render findings as a complete SARIF 2.1.0 document.
+ *
+ * @param findings findings in report order.
+ * @param rules    every registered rule (also the ones with no
+ *                 findings — the driver metadata is the rule list).
+ */
+std::string renderSarif(const std::vector<Finding> &findings,
+                        const std::vector<SarifRuleInfo> &rules);
+
+} // namespace analysis
+} // namespace gpuscale
+
+#endif // GPUSCALE_ANALYSIS_SARIF_HH

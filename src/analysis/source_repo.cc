@@ -7,14 +7,50 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "harness/parallel.hh"
 
 namespace gpuscale {
 namespace analysis {
 
+namespace {
+
+bool
+isCMakePath(const std::string &path)
+{
+    const auto ends_with = [&](const char *suffix) {
+        const size_t n = std::char_traits<char>::length(suffix);
+        return path.size() >= n &&
+               path.compare(path.size() - n, n, suffix) == 0;
+    };
+    return ends_with("CMakeLists.txt") || ends_with(".cmake");
+}
+
+} // namespace
+
 SourceFile::SourceFile(std::string rel_path, std::string raw)
     : path_(std::move(rel_path)), raw_(std::move(raw))
 {
-    scan();
+    kind_ = isCMakePath(path_) ? Kind::CMake : Kind::Cpp;
+    ensureScanned();
+}
+
+SourceFile::SourceFile(std::string rel_path, std::string raw,
+                       DeferScan)
+    : path_(std::move(rel_path)), raw_(std::move(raw))
+{
+    kind_ = isCMakePath(path_) ? Kind::CMake : Kind::Cpp;
+}
+
+void
+SourceFile::ensureScanned()
+{
+    if (scanned_)
+        return;
+    scanned_ = true;
+    if (kind_ == Kind::CMake)
+        scanCMake();
+    else
+        scan();
 }
 
 namespace {
@@ -27,20 +63,69 @@ isRuleChar(char c)
            c == '_';
 }
 
+bool
+isIdentCh(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * First occurrence of marker that starts a comment line (only
+ * whitespace before it since the previous newline), or npos.  Keeps
+ * prose that merely *mentions* a marker — docs, rule messages — from
+ * being parsed as one.
+ */
+size_t
+anchoredFind(const std::string &text, const std::string &marker)
+{
+    size_t pos = 0;
+    while ((pos = text.find(marker, pos)) != std::string::npos) {
+        size_t bol = text.rfind('\n', pos);
+        bol = bol == std::string::npos ? 0 : bol + 1;
+        // whitespace, the comment's own slashes, whitespace — then
+        // the marker must start.
+        size_t i = bol;
+        while (i < pos && (text[i] == ' ' || text[i] == '\t'))
+            ++i;
+        while (i < pos && text[i] == '/')
+            ++i;
+        while (i < pos && (text[i] == ' ' || text[i] == '\t'))
+            ++i;
+        if (i == pos)
+            return pos;
+        ++pos;
+    }
+    return std::string::npos;
+}
+
 } // namespace
 
 void
 SourceFile::recordSuppression(const std::string &comment,
                               int first_line, int last_line)
 {
+    static const std::string kTag = "gpuscale-lint:";
     static const std::string kMarker = "gpuscale-lint: allow(";
-    size_t pos = comment.find(kMarker);
-    if (pos == std::string::npos)
+    const size_t tag = anchoredFind(comment, kTag);
+    if (tag == std::string::npos)
         return;
+
+    SuppressionNote note;
+    note.line = first_line;
+
+    size_t pos =
+        comment.compare(tag, kMarker.size(), kMarker) == 0
+            ? tag
+            : std::string::npos;
+    const size_t close = pos == std::string::npos
+                             ? std::string::npos
+                             : comment.find(')', pos + kMarker.size());
+    if (pos == std::string::npos || close == std::string::npos) {
+        note.malformed = true;
+        notes_.push_back(std::move(note));
+        return;
+    }
     pos += kMarker.size();
-    const size_t close = comment.find(')', pos);
-    if (close == std::string::npos)
-        return;
 
     std::set<std::string> rules;
     std::string cur;
@@ -50,13 +135,83 @@ SourceFile::recordSuppression(const std::string &comment,
             cur += c;
         } else if (!cur.empty()) {
             rules.insert(cur);
+            note.rules.push_back(cur);
             cur.clear();
         }
     }
+    if (rules.empty())
+        note.malformed = true;
+    notes_.push_back(std::move(note));
+
     // The comment's own lines plus the one after it, so the marker
     // works both trailing a statement and on its own line above one.
     for (int line = first_line; line <= last_line + 1; ++line)
         suppressions_[line].insert(rules.begin(), rules.end());
+}
+
+void
+SourceFile::recordGuards(const std::string &comment, int first_line,
+                         int last_line)
+{
+    static const std::string kMarker = "guarded_by(";
+    size_t pos = anchoredFind(comment, kMarker);
+    if (pos == std::string::npos)
+        return;
+    pos += kMarker.size();
+    std::string mutex;
+    while (pos < comment.size() && isIdentCh(comment[pos])) {
+        mutex += comment[pos];
+        ++pos;
+    }
+    // A truncated or empty marker still records (with an empty mutex)
+    // so the lock-discipline rule can flag it instead of silently
+    // checking nothing.
+    if (pos >= comment.size() || comment[pos] != ')')
+        mutex.clear();
+
+    GuardAnnotation g;
+    g.line = first_line;
+    g.mutex = std::move(mutex);
+    guards_.push_back(std::move(g));
+    guard_spans_.push_back({first_line, last_line});
+}
+
+void
+SourceFile::resolveGuardFields()
+{
+    // The annotation binds to the field declared on the comment's own
+    // (first) line — the trailing form — or, for a standalone
+    // comment, on the line right below the block.  The field is the
+    // identifier immediately before the declaration's first ';', '=',
+    // or '{' on that line.
+    const auto fieldOnLine = [&](int line) -> std::string {
+        const Token *prev = nullptr;
+        for (const Token &t : tokens_.tokens()) {
+            if (t.line < line)
+                continue;
+            if (t.line > line)
+                break;
+            if (t.kind == TokKind::Punct &&
+                (t.text == ";" || t.text == "=" || t.text == "{")) {
+                if (prev && prev->kind == TokKind::Identifier)
+                    return prev->text;
+                return "";
+            }
+            prev = &t;
+        }
+        return "";
+    };
+
+    for (size_t i = 0; i < guards_.size(); ++i) {
+        std::string field = fieldOnLine(guard_spans_[i].first);
+        int line = guard_spans_[i].first;
+        if (field.empty()) {
+            line = guard_spans_[i].second + 1;
+            field = fieldOnLine(line);
+        }
+        guards_[i].field = std::move(field);
+        guards_[i].line = line;
+    }
 }
 
 void
@@ -83,6 +238,7 @@ SourceFile::flushLineComments(PendingComment &pending)
         return;
     recordSuppression(pending.text, pending.first_line,
                       pending.last_line);
+    recordGuards(pending.text, pending.first_line, pending.last_line);
     pending.active = false;
 }
 
@@ -160,8 +316,23 @@ SourceFile::scan()
                 literal_text.clear();
                 code_[i] = '"';
             } else if (c == '\'') {
-                state = State::Char;
-                code_[i] = '\'';
+                // A digit separator (1'000'000, 0xFF'FF) is part of
+                // its number, not the start of a char literal: the
+                // preceding alnum run must begin with a digit.  A
+                // char-literal prefix (L'a', u8'a') begins with a
+                // letter, so it still lexes as a literal.
+                size_t run = i;
+                while (run > 0 && (isIdentCh(raw_[run - 1]) ||
+                                   raw_[run - 1] == '\''))
+                    --run;
+                const bool separator =
+                    run < i && raw_[run] >= '0' && raw_[run] <= '9';
+                if (separator) {
+                    code_[i] = '\'';
+                } else {
+                    state = State::Char;
+                    code_[i] = '\'';
+                }
             } else if (c != '\n') {
                 code_[i] = c;
             }
@@ -178,9 +349,9 @@ SourceFile::scan()
             break;
 
           case State::BlockComment:
+            // Markers live in // comments only; block comments are
+            // documentation and may *mention* markers as prose.
             if (c == '*' && next == '/') {
-                recordSuppression(comment_text, comment_start_line,
-                                  line);
                 state = State::Normal;
                 ++i;
             } else {
@@ -234,6 +405,48 @@ SourceFile::scan()
     if (state == State::LineComment)
         appendLineComment(pending, comment_text, comment_start_line);
     flushLineComments(pending);
+
+    tokens_ = TokenStream(code_);
+    scopes_ = ScopeTree(tokens_);
+    resolveGuardFields();
+}
+
+void
+SourceFile::scanCMake()
+{
+    // CMake's lexical grammar is simple enough here: '#' starts a
+    // comment outside a double-quoted argument.  Comments are
+    // blanked so flag checks (-ffast-math) don't trip on prose;
+    // bracket comments #[[...]] are rare and treated as line
+    // comments, which errs toward scanning too much, not too little.
+    code_.assign(raw_.size(), ' ');
+    line_offsets_.push_back(0);
+
+    bool in_string = false;
+    bool in_comment = false;
+    int line = 1;
+    const size_t n = raw_.size();
+    for (size_t i = 0; i < n; ++i) {
+        const char c = raw_[i];
+        if (c == '\n') {
+            code_[i] = '\n';
+            ++line;
+            line_offsets_.push_back(i + 1);
+            in_comment = false;
+            in_string = false; // CMake strings don't span lines here
+            continue;
+        }
+        if (in_comment)
+            continue;
+        if (c == '"' && (i == 0 || raw_[i - 1] != '\\'))
+            in_string = !in_string;
+        if (c == '#' && !in_string) {
+            in_comment = true;
+            continue;
+        }
+        code_[i] = c;
+    }
+    (void)line;
 }
 
 int
@@ -308,13 +521,28 @@ loadRepo(const std::string &root)
     for (const auto &entry : fs::recursive_directory_iterator(src)) {
         if (!entry.is_regular_file())
             continue;
+        const std::string name = entry.path().filename().string();
         const std::string ext = entry.path().extension().string();
-        if (ext == ".cc" || ext == ".hh")
+        if (ext == ".cc" || ext == ".hh" || ext == ".cmake" ||
+            name == "CMakeLists.txt")
             paths.push_back(entry.path());
+    }
+    // Build flags can hide anywhere a CMakeLists lives, but fixture
+    // trees under tests/ are deliberately bad inputs — so only the
+    // checkout's own top-level lists join the scan.
+    for (const char *extra :
+         {"CMakeLists.txt", "tests/CMakeLists.txt",
+          "bench/CMakeLists.txt"}) {
+        const fs::path p = fs::path(root) / extra;
+        if (fs::is_regular_file(p))
+            paths.push_back(p);
     }
     std::sort(paths.begin(), paths.end());
 
     for (const auto &p : paths) {
+        // gpuscale-lint: allow(fault-coverage): the lint tool reads
+        // its own inputs; a source tree that vanishes mid-scan is a
+        // fatal usage error, not a degradable I/O fault.
         std::ifstream is(p);
         fatal_if(!is, "gpuscale-lint: cannot read %s",
                  p.string().c_str());
@@ -322,8 +550,16 @@ loadRepo(const std::string &root)
         buffer << is.rdbuf();
         const std::string rel =
             fs::relative(p, root).generic_string();
-        repo.files.emplace_back(rel, buffer.str());
+        repo.files.emplace_back(rel, buffer.str(),
+                                SourceFile::DeferScan{});
     }
+
+    // Scanning (comment stripping, lexing, scope building) dominates
+    // load time on a full checkout; files are independent, so fan
+    // out across the pool.
+    harness::parallelFor(repo.files.size(), [&repo](size_t i) {
+        repo.files[i].ensureScanned();
+    });
     return repo;
 }
 

@@ -1,0 +1,373 @@
+#include "tokens.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gpuscale {
+namespace analysis {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+/**
+ * Multi-character punctuators, longest first so the lexer can take
+ * the first prefix match.  ">>" is listed, which is also how a
+ * nested template closes — scope tracking only keys on braces and
+ * parens, so emitting one ">>" token is both faster and harmless.
+ */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+} // namespace
+
+TokenStream::TokenStream(const std::string &code)
+{
+    const size_t n = code.size();
+    int line = 1;
+    bool at_line_start = true;
+
+    size_t i = 0;
+    while (i < n) {
+        const char c = code[i];
+        if (c == '\n') {
+            ++line;
+            at_line_start = true;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directives are not C++ token soup: a #define
+        // can hold unbalanced braces and an #include's <path> is not
+        // a comparison.  Skip the whole (continued) line.
+        if (c == '#' && at_line_start) {
+            while (i < n) {
+                if (code[i] == '\\' && i + 1 < n &&
+                    code[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                if (code[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        at_line_start = false;
+
+        if (identStart(c)) {
+            const size_t begin = i;
+            while (i < n && identChar(code[i]))
+                ++i;
+            tokens_.push_back({TokKind::Identifier,
+                               code.substr(begin, i - begin), begin,
+                               line});
+            continue;
+        }
+
+        if (isDigit(c) || (c == '.' && i + 1 < n && isDigit(code[i + 1]))) {
+            // pp-number: digits, idents, dots, digit separators, and
+            // exponent signs.  "1'000'000" and "0x1.8p-3" are each
+            // one token.
+            const size_t begin = i;
+            while (i < n) {
+                const char d = code[i];
+                if (identChar(d) || d == '.' || d == '\'') {
+                    ++i;
+                } else if ((d == '+' || d == '-') && i > begin &&
+                           (code[i - 1] == 'e' || code[i - 1] == 'E' ||
+                            code[i - 1] == 'p' || code[i - 1] == 'P')) {
+                    ++i;
+                } else {
+                    break;
+                }
+            }
+            tokens_.push_back({TokKind::Number,
+                               code.substr(begin, i - begin), begin,
+                               line});
+            continue;
+        }
+
+        if (c == '"') {
+            // Literal contents are blanked in the code() view, so the
+            // next '"' is the closing quote (escaped quotes inside
+            // were blanked too).
+            const size_t begin = i;
+            const int begin_line = line;
+            size_t close = code.find('"', i + 1);
+            if (close == std::string::npos)
+                close = n - 1;
+            for (size_t j = i; j <= close; ++j)
+                line += code[j] == '\n' ? 1 : 0;
+            tokens_.push_back(
+                {TokKind::String, "\"", begin, begin_line});
+            i = close + 1;
+            continue;
+        }
+
+        if (c == '\'') {
+            const size_t begin = i;
+            size_t close = code.find('\'', i + 1);
+            if (close == std::string::npos)
+                close = n - 1;
+            tokens_.push_back({TokKind::CharLit, "'", begin, line});
+            i = close + 1;
+            continue;
+        }
+
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            const size_t len = std::char_traits<char>::length(p);
+            if (code.compare(i, len, p) == 0) {
+                tokens_.push_back({TokKind::Punct, p, i, line});
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+
+        tokens_.push_back({TokKind::Punct, std::string(1, c), i, line});
+        ++i;
+    }
+
+    // Bracket matching for (), [], {} in one pass.
+    match_.assign(tokens_.size(), npos);
+    std::vector<size_t> stack;
+    for (size_t t = 0; t < tokens_.size(); ++t) {
+        const std::string &s = tokens_[t].text;
+        if (tokens_[t].kind != TokKind::Punct || s.size() != 1)
+            continue;
+        const char b = s[0];
+        if (b == '(' || b == '[' || b == '{') {
+            stack.push_back(t);
+        } else if (b == ')' || b == ']' || b == '}') {
+            const char want = b == ')' ? '(' : b == ']' ? '[' : '{';
+            // Pop until the matching opener kind; a mismatch means
+            // unbalanced input (preprocessor games) — leave npos.
+            while (!stack.empty() &&
+                   tokens_[stack.back()].text[0] != want)
+                stack.pop_back();
+            if (!stack.empty()) {
+                match_[stack.back()] = t;
+                match_[t] = stack.back();
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+size_t
+TokenStream::indexAtOrAfter(size_t offset) const
+{
+    const auto it = std::lower_bound(
+        tokens_.begin(), tokens_.end(), offset,
+        [](const Token &t, size_t off) { return t.offset < off; });
+    return static_cast<size_t>(it - tokens_.begin());
+}
+
+size_t
+TokenStream::match(size_t i) const
+{
+    return i < match_.size() ? match_[i] : npos;
+}
+
+namespace {
+
+bool
+isAnyOf(const std::string &s,
+        std::initializer_list<const char *> set)
+{
+    for (const char *x : set) {
+        if (s == x)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Classify the '{' at token index i.  `ts` supplies bracket matches
+ * for the walk back over ") const noexcept -> type" trailers.
+ */
+ScopeKind
+classifyBrace(const TokenStream &ts, size_t i, std::string &name)
+{
+    const auto &toks = ts.tokens();
+    name.clear();
+    if (i == 0)
+        return ScopeKind::Block;
+
+    // Resolve the ')' case: the token before its matching '(' tells
+    // control blocks from function bodies.
+    auto fromCloseParen = [&](size_t close) -> ScopeKind {
+        const size_t open = ts.match(close);
+        if (open == TokenStream::npos || open == 0)
+            return ScopeKind::Function;
+        const Token &before = toks[open - 1];
+        if (isAnyOf(before.text,
+                    {"if", "while", "for", "switch", "catch"}))
+            return ScopeKind::Control;
+        if (before.kind == TokKind::Identifier) {
+            name = before.text;
+            if (open >= 2 && toks[open - 2].text == "~")
+                name = "~" + name;
+        }
+        return ScopeKind::Function;
+    };
+
+    const Token &prev = toks[i - 1];
+    if (prev.text == ")")
+        return fromCloseParen(i - 1);
+    if (prev.text == "]") // captures-only lambda: [&] { ... }
+        return ScopeKind::Function;
+    if (isAnyOf(prev.text, {"else", "do", "try"}))
+        return ScopeKind::Control;
+    if (isAnyOf(prev.text, {"=", ",", "(", "{", "return"}))
+        return ScopeKind::Init;
+
+    // Walk back through the statement head.  The first decisive
+    // token wins: a ')' means a signature or control head (resolved
+    // above), a class-key or `namespace` names the scope, an '=' or
+    // `return` means a braced initializer.  Everything else — type
+    // names, template angle brackets, cv-qualifiers, trailing-return
+    // punctuation — is skipped until a statement boundary.
+    size_t j = i - 1;
+    for (int budget = 64; budget > 0; --budget) {
+        const Token &t = toks[j];
+        if (isAnyOf(t.text, {";", "}", "{"}))
+            break;
+        if (t.text == ")")
+            return fromCloseParen(j);
+        if (t.text == "namespace")
+            return ScopeKind::Namespace;
+        if (isAnyOf(t.text, {"class", "struct", "union", "enum"}))
+            return ScopeKind::Type;
+        if (t.text == "=" || t.text == "return")
+            return ScopeKind::Init;
+        if (j == 0)
+            break;
+        --j;
+    }
+    return ScopeKind::Block;
+}
+
+} // namespace
+
+ScopeTree::ScopeTree(const TokenStream &ts)
+{
+    const auto &toks = ts.tokens();
+    std::vector<int> stack;
+    size_t end_offset = 0;
+    if (!toks.empty())
+        end_offset = toks.back().offset + toks.back().text.size();
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Punct)
+            continue;
+        if (t.text == "{") {
+            std::string name;
+            const ScopeKind kind = classifyBrace(ts, i, name);
+            Scope s;
+            s.kind = kind;
+            s.open_offset = t.offset;
+            s.close_offset = end_offset;
+            s.parent = stack.empty() ? -1 : stack.back();
+            s.depth = static_cast<int>(stack.size());
+            s.name = std::move(name);
+            stack.push_back(static_cast<int>(scopes_.size()));
+            scopes_.push_back(std::move(s));
+        } else if (t.text == "}") {
+            if (!stack.empty()) {
+                scopes_[stack.back()].close_offset = t.offset;
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+int
+ScopeTree::innermostAt(size_t offset) const
+{
+    // Scopes are ordered by open_offset; the innermost container is
+    // the last one opened before `offset` that also closes after it.
+    int best = -1;
+    for (size_t i = 0; i < scopes_.size(); ++i) {
+        const Scope &s = scopes_[i];
+        if (s.open_offset >= offset)
+            break;
+        if (s.close_offset > offset)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+int
+ScopeTree::enclosingFunction(size_t offset) const
+{
+    for (int i = innermostAt(offset); i >= 0; i = scopes_[i].parent) {
+        if (scopes_[i].kind == ScopeKind::Function)
+            return i;
+    }
+    return -1;
+}
+
+int
+ScopeTree::outermostFunction(size_t offset) const
+{
+    int found = -1;
+    for (int i = innermostAt(offset); i >= 0; i = scopes_[i].parent) {
+        if (scopes_[i].kind == ScopeKind::Function)
+            found = i;
+    }
+    return found;
+}
+
+bool
+ScopeTree::isAncestorOrSelf(int anc, int scope) const
+{
+    if (anc < 0)
+        return true; // top level encloses everything
+    for (int i = scope; i >= 0; i = scopes_[i].parent) {
+        if (i == anc)
+            return true;
+    }
+    return false;
+}
+
+bool
+ScopeTree::contains(int scope, size_t offset) const
+{
+    if (scope < 0)
+        return true;
+    const Scope &s = scopes_[static_cast<size_t>(scope)];
+    return s.open_offset < offset && offset < s.close_offset;
+}
+
+} // namespace analysis
+} // namespace gpuscale

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Token stream and lexical scope tree for gpuscale-lint.
+ *
+ * The first analyzer generation worked on the comment-stripped
+ * code() view with substring searches; that is fine for "this token
+ * must not appear" rules but cannot answer "is this call inside a
+ * scope that also calls faultPoint()?" or "which function body am I
+ * in?".  This engine closes that gap while staying dependency-free:
+ *
+ *  - TokenStream: the code() view lexed into identifiers, numbers,
+ *    string/char literals, and (longest-match) punctuators.
+ *    Preprocessor directive lines are skipped, digit separators
+ *    (1'000'000) stay part of their number, and a raw string is one
+ *    String token.
+ *  - ScopeTree: every brace pair classified as namespace, type,
+ *    function body, control block, initializer, or plain block, with
+ *    parent links — enough lexical structure for scope-sensitive
+ *    rules (fault-coverage, lock-discipline) without a real parser.
+ *
+ * Both are built once per file during the repo scan and shared by
+ * all rules.
+ */
+
+#ifndef GPUSCALE_ANALYSIS_TOKENS_HH
+#define GPUSCALE_ANALYSIS_TOKENS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gpuscale {
+namespace analysis {
+
+enum class TokKind {
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    Number,     ///< pp-number, digit separators included
+    String,     ///< one string literal, quotes included
+    CharLit,    ///< one character literal
+    Punct,      ///< longest-match operator or punctuator
+};
+
+/** One lexed token over the code() view. */
+struct Token {
+    TokKind kind;
+    std::string text; ///< literal spellings are "\"" / "'" only
+    size_t offset;    ///< offset of the first character in code()
+    int line;         ///< 1-based line of the first character
+};
+
+/**
+ * The token sequence of one file's code() view.
+ *
+ * @param code the comment-stripped, literal-blanked view
+ *             (SourceFile::code()); literal *contents* are spaces
+ *             but delimiters survive, which is what the lexer keys
+ *             on.
+ */
+class TokenStream
+{
+  public:
+    explicit TokenStream(const std::string &code);
+    TokenStream() = default;
+
+    const std::vector<Token> &tokens() const { return tokens_; }
+
+    /** Index of the first token at or after offset; size() if none. */
+    size_t indexAtOrAfter(size_t offset) const;
+
+    /**
+     * For the token at index i (a "(", "[", or "{"), the index of its
+     * matching closer — or, for a closer, its opener.  npos when
+     * unbalanced (e.g. a brace hidden behind an #if).
+     */
+    size_t match(size_t i) const;
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+  private:
+    std::vector<Token> tokens_;
+    std::vector<size_t> match_; ///< parallel to tokens_
+};
+
+enum class ScopeKind {
+    Namespace, ///< namespace x { ... }
+    Type,      ///< class/struct/union/enum body
+    Function,  ///< function, method, or lambda body
+    Control,   ///< if/else/for/while/switch/do/try/catch block
+    Init,      ///< braced initializer / init-list
+    Block,     ///< bare { ... }
+};
+
+/** One brace pair; offsets are of the '{' and '}' in code(). */
+struct Scope {
+    ScopeKind kind;
+    size_t open_offset;
+    size_t close_offset; ///< offset of '}', or end of file if torn
+    int parent;          ///< index into scopes(), -1 for top level
+    int depth;           ///< 0 for top-level scopes
+    /**
+     * For Function scopes: the name token before the parameter list
+     * ("sweepOne", "~SweepCache", "operator()", "" for lambdas).
+     */
+    std::string name;
+};
+
+/** The nested brace structure of one token stream. */
+class ScopeTree
+{
+  public:
+    explicit ScopeTree(const TokenStream &ts);
+    ScopeTree() = default;
+
+    const std::vector<Scope> &scopes() const { return scopes_; }
+
+    /** Innermost scope containing offset, or -1 (top level). */
+    int innermostAt(size_t offset) const;
+
+    /**
+     * Innermost enclosing Function scope at offset, or -1 when the
+     * offset sits outside every function body (file scope, a class
+     * member declaration, a constructor init-list).
+     */
+    int enclosingFunction(size_t offset) const;
+
+    /**
+     * Outermost enclosing Function scope at offset, or -1.  For code
+     * inside a lambda this is the named function the lambda sits in.
+     */
+    int outermostFunction(size_t offset) const;
+
+    /** True if scope `anc` is `scope` or one of its ancestors. */
+    bool isAncestorOrSelf(int anc, int scope) const;
+
+    /** True if offset falls inside the given scope's braces. */
+    bool contains(int scope, size_t offset) const;
+
+  private:
+    std::vector<Scope> scopes_;
+};
+
+} // namespace analysis
+} // namespace gpuscale
+
+#endif // GPUSCALE_ANALYSIS_TOKENS_HH

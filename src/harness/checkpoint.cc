@@ -93,6 +93,13 @@ CensusJournal::CensusJournal(const std::string &dir,
         return;
     }
 
+    if (faultPoint("checkpoint.dir")) {
+        warn("checkpoint: cannot create directory %s; journal "
+             "disabled",
+             dir.c_str());
+        obs::noteDegradation("checkpoint.dir");
+        return;
+    }
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     fatal_if(ec, "cannot create checkpoint directory %s: %s",
@@ -126,7 +133,14 @@ CensusJournal::~CensusJournal()
 {
     if (fd_ < 0)
         return;
-    flushLocked();
+    try {
+        flushLocked();
+    } catch (const FaultInjectedError &) {
+        // An injected crash during the final flush: the buffered
+        // records are lost and re-run on resume, which is exactly
+        // the journal's contract.  The dtor must not throw.
+        obs::noteDegradation("checkpoint.flush");
+    }
     ::close(fd_);
     fd_ = -1;
 }
@@ -251,6 +265,12 @@ CensusJournal::writeHeader(const std::string &header)
 {
     // Temp + rename: a crash here leaves either no journal or a
     // complete header, never a half-written one.
+    if (faultPoint("checkpoint.header")) {
+        warn("checkpoint: cannot write %s; journal disabled",
+             path_.c_str());
+        obs::noteDegradation("checkpoint.header.write");
+        return false;
+    }
     const std::string tmp = path_ + ".tmp";
     {
         std::ofstream os(tmp, std::ios::trunc);
@@ -326,6 +346,13 @@ void
 CensusJournal::flushLocked()
 {
     const auto t0 = std::chrono::steady_clock::now();
+    if (faultPoint("checkpoint.flush")) {
+        warn("checkpoint: flush of %zu byte(s) failed; those "
+             "records will re-run on resume",
+             pending_.size());
+        obs::noteDegradation("checkpoint.flush");
+        return;
+    }
     size_t off = 0;
     while (off < pending_.size()) {
         const ssize_t n = ::write(fd_, pending_.data() + off,

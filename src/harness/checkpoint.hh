@@ -139,9 +139,11 @@ class CensusJournal
     std::unordered_map<std::string, std::vector<double>> loaded_;
     int fd_ = -1;
 
-    // gpuscale-lint: allow(concurrency): serializes appends from
-    // sweepKernels() workers so records never interleave mid-line.
+    // Serializes appends from sweepKernels() workers so records
+    // never interleave mid-line; the buffer is tied to it by
+    // guarded_by (enforced by the lock-discipline rule).
     std::mutex append_mutex_;
+    // guarded_by(append_mutex_)
     std::string pending_;
 };
 

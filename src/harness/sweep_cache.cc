@@ -262,6 +262,15 @@ void
 SweepCache::setDirectory(const std::string &dir)
 {
     if (!dir.empty()) {
+        if (faultPoint("sweep_cache.dir")) {
+            warn("sweep cache: cannot create %s; disk tier "
+                 "disabled",
+                 dir.c_str());
+            obs::noteDegradation("sweep_cache.dir");
+            std::lock_guard<std::mutex> lock(mutex_);
+            dir_.clear();
+            return;
+        }
         std::error_code ec;
         std::filesystem::create_directories(dir, ec);
         fatal_if(ec, "cannot create sweep-cache directory %s: %s",

@@ -105,11 +105,15 @@ class SweepCache
      */
     static constexpr size_t kMaxEntries = 4096;
 
-    // gpuscale-lint: allow(concurrency): guards the map, FIFO, and
-    // directory; sweepKernels() workers hit the cache concurrently.
+    // sweepKernels() workers hit the cache concurrently; every
+    // field below is tied to the mutex by its guarded_by annotation
+    // (enforced by the lock-discipline rule).
     mutable std::mutex mutex_;
+    // guarded_by(mutex_)
     std::unordered_map<std::string, std::vector<double>> map_;
+    // guarded_by(mutex_)
     std::deque<std::string> fifo_;
+    // guarded_by(mutex_)
     std::string dir_;
 };
 

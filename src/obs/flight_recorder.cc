@@ -171,6 +171,9 @@ void
 writeAll(int fd, const char *buf, size_t len)
 {
     while (len > 0) {
+        // gpuscale-lint: allow(fault-coverage): this runs on the
+        // crash path (signal handler); it must not call back into
+        // the fault harness it is recording the death of.
         const ssize_t n = ::write(fd, buf, len);
         if (n <= 0)
             return;
@@ -372,6 +375,9 @@ FlightRecorder::dump(const std::string &json_path,
     if (!active())
         return 0;
     const std::vector<Event> events = collectEvents(g_header, g_slots);
+    // gpuscale-lint: allow(fault-coverage): post-mortem dump; the
+    // process is already past the point where injected faults are
+    // being modelled, and failure degrades to a warning.
     std::ofstream out(json_path);
     if (!out) {
         warn("flight recorder: cannot write dump '%s'",
@@ -398,6 +404,9 @@ FlightRecorder::stop()
 std::string
 renderRingFile(const std::string &ring_path)
 {
+    // gpuscale-lint: allow(fault-coverage): offline reader for a
+    // ring file left by a dead process; not a crash-consistency
+    // surface of the writing run.
     std::ifstream in(ring_path, std::ios::binary);
     if (!in) {
         throw std::runtime_error("flight ring not readable: " +

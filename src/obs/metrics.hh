@@ -272,13 +272,19 @@ class Registry
         std::unique_ptr<T> instrument;
     };
 
-    // gpuscale-lint: allow(concurrency): guards instrument
-    // registration only; hot-path updates are lock-free atomics.
+    // Guards instrument registration only; hot-path updates are
+    // lock-free atomics.  The registration maps are tied to it by
+    // guarded_by (enforced by the lock-discipline rule).
     mutable std::mutex mu_;
+    // guarded_by(mu_)
     std::map<std::string, Entry<Counter>> counters_;
+    // guarded_by(mu_)
     std::map<std::string, Entry<Gauge>> gauges_;
+    // guarded_by(mu_)
     std::map<std::string, Entry<Histogram>> histograms_;
+    // guarded_by(mu_)
     std::map<std::string, Entry<ShardedCounter>> sharded_counters_;
+    // guarded_by(mu_)
     std::map<std::string, Entry<ShardedHistogram>> sharded_histograms_;
 
     static inline std::atomic<bool> quiesced_{false};

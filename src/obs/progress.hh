@@ -69,10 +69,12 @@ class ProgressReporter
     std::atomic<uint64_t> done_{0};
     std::atomic<int64_t> last_paint_ms_{-1};
     std::atomic<bool> finished_{false};
-    // gpuscale-lint: allow(concurrency): serializes repaints and the
-    // final-newline latch; ticks stay lock-free.
+    // Serializes repaints and the final-newline latch; ticks stay
+    // lock-free.  The latch is tied to it by guarded_by (enforced
+    // by the lock-discipline rule).
     std::mutex paint_mu_;
-    /** Guarded by paint_mu_; true once the final line went out. */
+    /** True once the final line went out. */
+    // guarded_by(paint_mu_)
     bool final_painted_ = false;
 };
 

@@ -99,6 +99,9 @@ void
 writeManifest(const RunManifest &m, const std::string &path,
               bool include_metrics)
 {
+    // gpuscale-lint: allow(fault-coverage): the manifest rides next
+    // to an output the CLI already wrote; failure here is a fatal
+    // usage error (bad path), not a degradable mid-run fault.
     std::ofstream os(path);
     fatal_if(!os, "cannot write run manifest %s", path.c_str());
     os << renderManifestJson(m, include_metrics);

@@ -149,6 +149,9 @@ TraceSession::stop()
         buffers = s.buffers; // keep registrations for a later session
     }
 
+    // gpuscale-lint: allow(fault-coverage): trace export is
+    // best-effort telemetry; a failed write degrades to a warning
+    // and never gates census results.
     std::ofstream os(path);
     if (!os) {
         warn("cannot write trace file %s", path.c_str());

@@ -2,30 +2,58 @@
  * @file
  * gpuscale-lint — static analyzer for the gpuscale tree itself.
  *
- * Scans every .cc/.hh under the repo root's src/ and enforces the
- * invariants described in docs/static_analysis.md: layering,
- * concurrency hygiene, locale safety, telemetry naming, and census
- * conformance.
+ * Scans every .cc/.hh under the repo root's src/ (plus the CMake
+ * lists, for compiler-flag rules) and enforces the invariants
+ * described in docs/static_analysis.md: layering, concurrency
+ * hygiene, locale safety, telemetry naming, census conformance,
+ * error-code use, instrument descriptions, floating-point
+ * determinism, fault coverage, lock discipline, and suppression
+ * marker health.
  *
  * Usage:
  *   gpuscale-lint [--root=DIR] [--rule=NAME ...] [--list-rules]
+ *                 [--sarif=FILE] [--baseline=FILE] [--diff]
+ *                 [--write-baseline=FILE] [--bench-json=FILE]
+ *                 [--werror]
  *
- *   --root=DIR   repository root; defaults to the nearest ancestor
- *                of the current directory containing src/workloads.
- *   --rule=NAME  run only the named rule (repeatable).
- *   --list-rules print every rule with its summary and exit.
+ *   --root=DIR       repository root; defaults to the nearest
+ *                    ancestor of the current directory containing
+ *                    src/workloads.
+ *   --rule=NAME      run only the named rule (repeatable).
+ *   --list-rules     print every rule with its summary and exit.
+ *   --sarif=FILE     also write the reported findings as SARIF
+ *                    2.1.0 (what CI uploads for PR annotations).
+ *   --baseline=FILE  committed findings baseline (see
+ *                    ci/lint_baseline.txt).
+ *   --diff           report only findings absent from --baseline;
+ *                    baselined findings still count in the summary.
+ *   --write-baseline=FILE
+ *                    write the current findings as a new baseline
+ *                    and exit 0 (a capture run, not a gate).
+ *   --bench-json=FILE
+ *                    write {files, errors, warnings, suppressed,
+ *                    duration_s} for the CI perf smoke gate.
+ *   --werror         exit 1 on warnings too, not just errors.
  *
- * Exit codes mirror the gpuscale CLI: 0 clean, 1 findings,
- * 3 bad arguments.
+ * Exit codes mirror the gpuscale CLI: 0 clean (warnings allowed
+ * unless --werror), 1 errors reported, 3 bad arguments.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/baseline.hh"
 #include "analysis/rules.hh"
+#include "analysis/sarif.hh"
 #include "base/logging.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
 
 namespace {
 
@@ -59,8 +87,53 @@ usage()
     std::fprintf(
         stderr,
         "usage: gpuscale-lint [--root=DIR] [--rule=NAME ...]\n"
-        "                     [--list-rules]\n"
+        "                     [--list-rules] [--sarif=FILE]\n"
+        "                     [--baseline=FILE] [--diff]\n"
+        "                     [--write-baseline=FILE]\n"
+        "                     [--bench-json=FILE] [--werror]\n"
         "exit codes: 0 clean, 1 findings, 3 bad arguments\n");
+}
+
+void
+printRules(std::FILE *to,
+           const std::vector<std::unique_ptr<analysis::Rule>> &rules)
+{
+    for (const auto &rule : rules)
+        std::fprintf(to, "%-16s %s\n", rule->name().c_str(),
+                     rule->description().c_str());
+}
+
+/**
+ * Lint's own artifacts (SARIF, baseline, bench JSON) are tool
+ * output, not census data: a failed write is reported and fatal, but
+ * it is not a crash-consistency surface the fault harness needs to
+ * reach.
+ */
+bool
+writeFile(const std::string &path, const std::string &contents)
+{
+    // gpuscale-lint: allow(fault-coverage): lint report artifacts
+    // are outside the census crash-consistency envelope.
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return false;
+    os << contents;
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    // gpuscale-lint: allow(fault-coverage): reading the committed
+    // baseline is a pure input, not a crash-consistency surface.
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
 }
 
 } // namespace
@@ -70,7 +143,13 @@ main(int argc, char **argv)
 {
     std::string root;
     std::vector<std::string> only_rules;
+    std::string sarif_path;
+    std::string baseline_path;
+    std::string write_baseline_path;
+    std::string bench_json_path;
     bool list_rules = false;
+    bool diff = false;
+    bool werror = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -80,6 +159,18 @@ main(int argc, char **argv)
             only_rules.push_back(arg.substr(7));
         } else if (arg == "--list-rules") {
             list_rules = true;
+        } else if (arg.rfind("--sarif=", 0) == 0) {
+            sarif_path = arg.substr(8);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baseline_path = arg.substr(11);
+        } else if (arg == "--diff") {
+            diff = true;
+        } else if (arg.rfind("--write-baseline=", 0) == 0) {
+            write_baseline_path = arg.substr(17);
+        } else if (arg.rfind("--bench-json=", 0) == 0) {
+            bench_json_path = arg.substr(13);
+        } else if (arg == "--werror") {
+            werror = true;
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n",
                          arg.c_str());
@@ -91,9 +182,7 @@ main(int argc, char **argv)
     const auto rules = analysis::allRules();
 
     if (list_rules) {
-        for (const auto &rule : rules)
-            std::printf("%-12s %s\n", rule->name().c_str(),
-                        rule->description().c_str());
+        printRules(stdout, rules);
         return kExitClean;
     }
 
@@ -102,11 +191,29 @@ main(int argc, char **argv)
         for (const auto &rule : rules)
             known = known || rule->name() == wanted;
         if (!known) {
-            std::fprintf(stderr, "unknown rule '%s'\n",
+            std::fprintf(stderr,
+                         "unknown rule '%s'; known rules:\n",
                          wanted.c_str());
-            usage();
+            printRules(stderr, rules);
             return kExitBadArguments;
         }
+    }
+
+    if (diff && baseline_path.empty()) {
+        std::fprintf(stderr, "--diff requires --baseline=FILE\n");
+        usage();
+        return kExitBadArguments;
+    }
+
+    std::set<std::string> baseline;
+    if (!baseline_path.empty()) {
+        std::string text;
+        if (!readFile(baseline_path, text)) {
+            std::fprintf(stderr, "cannot read baseline '%s'\n",
+                         baseline_path.c_str());
+            return kExitBadArguments;
+        }
+        baseline = analysis::parseBaseline(text);
     }
 
     if (root.empty())
@@ -119,8 +226,12 @@ main(int argc, char **argv)
         return kExitBadArguments;
     }
 
+    const auto start = std::chrono::steady_clock::now();
+
     const analysis::SourceRepo repo = analysis::loadRepo(root);
-    const analysis::LintOptions opts;
+    analysis::LintOptions opts;
+    for (const auto &rule : rules)
+        opts.known_rules.push_back(rule->name());
     analysis::Report report;
 
     for (const auto &rule : rules) {
@@ -134,10 +245,107 @@ main(int argc, char **argv)
         rule->run(repo, opts, report);
     }
 
-    std::fputs(report.render().c_str(), stdout);
+    const double duration_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    auto &registry = obs::Registry::instance();
+    registry
+        .counter("lint.files",
+                 "source files scanned by gpuscale-lint")
+        .inc(repo.files.size());
+    registry
+        .counter("lint.findings",
+                 "findings reported by gpuscale-lint")
+        .inc(report.findings().size());
+    registry
+        .histogram("lint.duration",
+                   "wall seconds for one full gpuscale-lint run")
+        .record(duration_s);
+
+    if (!write_baseline_path.empty()) {
+        const std::string text =
+            analysis::renderBaseline(report.findings());
+        if (!writeFile(write_baseline_path, text)) {
+            std::fprintf(stderr, "cannot write baseline '%s'\n",
+                         write_baseline_path.c_str());
+            return kExitBadArguments;
+        }
+        std::printf("gpuscale-lint: wrote %zu baseline entries to "
+                    "%s\n",
+                    report.findings().size(),
+                    write_baseline_path.c_str());
+        return kExitClean;
+    }
+
+    // With --diff, only findings absent from the baseline are
+    // reported (and gate the exit code); the rest are "baselined".
+    std::vector<analysis::Finding> reported = report.findings();
+    size_t baselined = 0;
+    if (diff) {
+        reported =
+            analysis::diffAgainstBaseline(report.findings(),
+                                          baseline);
+        baselined = report.findings().size() - reported.size();
+    }
+
+    size_t errors = 0;
+    size_t warnings = 0;
+    for (const auto &f : reported) {
+        if (f.severity == analysis::Severity::Error)
+            ++errors;
+        else
+            ++warnings;
+        std::printf("%s\n", f.render().c_str());
+    }
+
     std::printf("gpuscale-lint: %zu files, %zu errors, %zu warnings"
-                ", %zu suppressed\n",
-                repo.files.size(), report.errorCount(),
-                report.warningCount(), report.suppressedCount());
-    return report.findings().empty() ? kExitClean : kExitFindings;
+                ", %zu suppressed",
+                repo.files.size(), errors, warnings,
+                report.suppressedCount());
+    if (diff)
+        std::printf(", %zu baselined", baselined);
+    std::printf(" (%.3fs)\n", duration_s);
+
+    if (!sarif_path.empty()) {
+        std::vector<analysis::SarifRuleInfo> infos;
+        for (const auto &rule : rules)
+            infos.push_back({rule->name(), rule->description()});
+        const std::string sarif =
+            analysis::renderSarif(reported, infos);
+        if (!writeFile(sarif_path, sarif)) {
+            std::fprintf(stderr, "cannot write SARIF '%s'\n",
+                         sarif_path.c_str());
+            return kExitBadArguments;
+        }
+    }
+
+    if (!bench_json_path.empty()) {
+        std::ostringstream os;
+        {
+            obs::JsonWriter w(os);
+            w.beginObject();
+            w.key("files")
+                .value(static_cast<uint64_t>(repo.files.size()));
+            w.key("errors").value(static_cast<uint64_t>(errors));
+            w.key("warnings")
+                .value(static_cast<uint64_t>(warnings));
+            w.key("suppressed")
+                .value(static_cast<uint64_t>(
+                    report.suppressedCount()));
+            w.key("duration_s").value(duration_s);
+            w.endObject();
+        }
+        os << '\n';
+        if (!writeFile(bench_json_path, os.str())) {
+            std::fprintf(stderr, "cannot write bench JSON '%s'\n",
+                         bench_json_path.c_str());
+            return kExitBadArguments;
+        }
+    }
+
+    if (errors > 0 || (werror && warnings > 0))
+        return kExitFindings;
+    return kExitClean;
 }

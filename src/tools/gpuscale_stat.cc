@@ -51,6 +51,8 @@ constexpr int kExitBadArguments = 3;
 std::string
 readFile(const std::string &path)
 {
+    // gpuscale-lint: allow(fault-coverage): offline reader tool; an
+    // unreadable snapshot is a fatal usage error.
     std::ifstream is(path, std::ios::binary);
     fatal_if(!is, "cannot read %s", path.c_str());
     std::stringstream buffer;
@@ -70,6 +72,8 @@ numberOr(const obs::JsonValue &obj, const std::string &key,
 int
 seriesCmd(const std::string &path)
 {
+    // gpuscale-lint: allow(fault-coverage): offline reader tool; an
+    // unreadable series file is a fatal usage error.
     std::ifstream is(path);
     fatal_if(!is, "cannot read %s", path.c_str());
 

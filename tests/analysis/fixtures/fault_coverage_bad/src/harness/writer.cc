@@ -1,0 +1,10 @@
+// Fixture: one raw I/O call outside the fault/retry envelope — the
+// seeded unwrapped rename the fault-coverage rule must flag.
+
+#include <cstdio>
+
+bool
+persist(const char *from, const char *to)
+{
+    return std::rename(from, to) == 0;
+}

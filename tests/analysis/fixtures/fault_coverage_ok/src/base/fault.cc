@@ -1,0 +1,14 @@
+// Fixture: the envelope itself is exempt — raw I/O here is how
+// faults get modelled in the first place.
+
+#include <cstdio>
+
+bool
+probeDisk(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (f == nullptr)
+        return false;
+    std::fclose(f);
+    return true;
+}

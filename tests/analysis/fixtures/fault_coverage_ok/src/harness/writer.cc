@@ -1,0 +1,41 @@
+// Fixture: every I/O form the fault-coverage rule accepts — probed,
+// retried, explicitly allowed, or deferred to a covered scope.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/fault.hh"
+#include "obs/retry.hh"
+
+bool
+persist(const char *from, const char *to)
+{
+    if (gpuscale::faultPoint("writer.rename"))
+        return false;
+    return std::rename(from, to) == 0;
+}
+
+bool
+spill(const std::string &path, const std::string &data)
+{
+    // A lambda inside a covered function is covered too: the probe
+    // lives in the outermost enclosing function.
+    return gpuscale::obs::retryWithBackoff("writer.spill", [&]() {
+        std::ofstream os(path);
+        os << data;
+        return static_cast<bool>(os);
+    });
+}
+
+std::string
+slurp(const char *path)
+{
+    // gpuscale-lint: allow(fault-coverage): best-effort reader used
+    // by diagnostics only.
+    std::ifstream is(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}

@@ -1,0 +1,14 @@
+// Fixture: a helper used by both census paths but defined here, in
+// a .cc — the shared-helper contract violation.
+
+static double
+occupancyTerm(double f)
+{
+    return f / 3.0;
+}
+
+double
+batchKernel(double f)
+{
+    return occupancyTerm(f) + 1.0;
+}

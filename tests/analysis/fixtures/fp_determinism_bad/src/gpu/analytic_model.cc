@@ -1,0 +1,10 @@
+// Fixture: the scalar census path calling a helper that is defined
+// privately in the batched TU (analytic_batch.cc).
+
+double occupancyTerm(double f);
+
+double
+modelKernel(double f)
+{
+    return occupancyTerm(f) * 2.0;
+}

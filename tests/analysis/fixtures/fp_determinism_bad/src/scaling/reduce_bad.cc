@@ -1,0 +1,23 @@
+// Fixture: reassociation-prone float patterns the fp-determinism
+// rule must flag.
+
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double
+sumRuntimes(const std::vector<double> &xs)
+{
+    // Seeded violation: reassociated accumulate over doubles.
+    return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double
+tallyByKernel(const std::unordered_map<std::string, double> &m)
+{
+    double total = 0.0;
+    for (const auto &kv : m)
+        total += kv.second;
+    return total;
+}

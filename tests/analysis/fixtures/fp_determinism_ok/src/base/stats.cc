@@ -1,0 +1,11 @@
+// Fixture: blessed helper file — ordered reductions live here by
+// design, so the fp-determinism rule must stay silent.
+
+#include <numeric>
+#include <vector>
+
+double
+orderedSum(const std::vector<double> &xs)
+{
+    return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

@@ -1,0 +1,16 @@
+// Fixture: helper shared by both paths but declared in the TU's own
+// header — a published API, not a private copy.
+
+#include "gpu/analytic_batch.hh"
+
+double
+occupancyTerm(double f)
+{
+    return f / 3.0;
+}
+
+double
+batchKernel(double f)
+{
+    return occupancyTerm(f) + 1.0;
+}

@@ -1,0 +1,10 @@
+// Fixture: the shared header where a helper used by both census
+// paths is allowed to live.
+
+#ifndef FIXTURE_ANALYTIC_BATCH_HH
+#define FIXTURE_ANALYTIC_BATCH_HH
+
+double occupancyTerm(double f);
+double batchKernel(double f);
+
+#endif

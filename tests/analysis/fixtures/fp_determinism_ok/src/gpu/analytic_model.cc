@@ -1,0 +1,22 @@
+// Fixture: scalar path using the header-declared shared helper and
+// iterating an *ordered* map — all silent.
+
+#include <map>
+#include <string>
+
+#include "gpu/analytic_batch.hh"
+
+double
+modelKernel(double f)
+{
+    return occupancyTerm(f) * 2.0;
+}
+
+double
+tallyOrdered(const std::map<std::string, double> &m)
+{
+    double total = 0.0;
+    for (const auto &kv : m)
+        total += kv.second;
+    return total;
+}

@@ -1,0 +1,13 @@
+#include "obs/cache.hh"
+
+void
+Cache::put(int v)
+{
+    value_ = v;
+}
+
+int
+Cache::getLocked() const
+{
+    return value_;
+}

@@ -1,0 +1,21 @@
+// Fixture: an annotated field whose .cc touches it without the
+// lock — the seeded unguarded-touch the rule must flag.
+
+#ifndef FIXTURE_CACHE_HH
+#define FIXTURE_CACHE_HH
+
+#include <mutex>
+
+class Cache
+{
+  public:
+    void put(int v);
+    int getLocked() const;
+
+  private:
+    mutable std::mutex mu_;
+    // guarded_by(mu_)
+    int value_ = 0;
+};
+
+#endif

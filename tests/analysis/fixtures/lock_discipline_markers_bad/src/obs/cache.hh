@@ -1,0 +1,19 @@
+// Fixture: broken guarded_by annotations — a truncated marker and
+// one naming a mutex that does not exist in the file.
+
+#ifndef FIXTURE_CACHE_HH
+#define FIXTURE_CACHE_HH
+
+#include <mutex>
+
+class Cache
+{
+  private:
+    mutable std::mutex mu_;
+    // guarded_by(
+    int value_ = 0;
+    // guarded_by(nonexistent_mu_)
+    int other_ = 0;
+};
+
+#endif

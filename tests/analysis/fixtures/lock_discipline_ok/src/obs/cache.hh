@@ -1,0 +1,22 @@
+// Fixture: every accepted touch form — under a lock_guard, inside a
+// *Locked helper, and via a unique_lock in an outer scope.
+
+#ifndef FIXTURE_CACHE_HH
+#define FIXTURE_CACHE_HH
+
+#include <mutex>
+
+class Cache
+{
+  public:
+    void put(int v);
+    int waitNonZero();
+    int getLocked() const;
+
+  private:
+    mutable std::mutex mu_;
+    // guarded_by(mu_)
+    int value_ = 0;
+};
+
+#endif

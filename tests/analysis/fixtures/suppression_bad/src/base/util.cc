@@ -1,0 +1,22 @@
+// Fixture: broken allow() markers the suppression rule must flag.
+
+// gpuscale-lint: allow(locl): typo'd rule name suppresses nothing
+static int
+localeish()
+{
+    return 1;
+}
+
+// gpuscale-lint: this marker has no allow() clause at all
+static int
+unparseable()
+{
+    return 2;
+}
+
+// gpuscale-lint: allow(layering): a real rule name stays silent
+static int
+fine()
+{
+    return 3;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fault-coverage rule tests: raw I/O outside a faultPoint() /
+ * retryWithBackoff() envelope is flagged; probed scopes, the fault
+ * machinery's own files, and allow()-carrying sites are not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis_test_util.hh"
+
+namespace {
+
+using namespace gpuscale::analysis;
+using namespace gpuscale::analysis::test;
+
+TEST(RuleFaultCoverage, FlagsUnwrappedRename)
+{
+    const auto repo = loadFixture("fault_coverage_bad");
+    const auto report = runRule(*makeFaultCoverageRule(), repo);
+
+    // Exactly the seeded std::rename with no probe in scope.
+    EXPECT_EQ(findingCount(report, "fault-coverage"), 1u)
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "rename"))
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "envelope"))
+        << report.render();
+    // The fix-it hint names the probe to add.
+    ASSERT_EQ(report.findings().size(), 1u);
+    EXPECT_NE(report.findings()[0].hint.find("faultPoint"),
+              std::string::npos);
+}
+
+TEST(RuleFaultCoverage, ProbedScopesEnvelopeFilesAndAllowsAreSilent)
+{
+    // writer.cc covers its opens with faultPoint / retryWithBackoff
+    // plus one allow(fault-coverage) slurp; fault.cc is the fault
+    // machinery itself and may do raw I/O.
+    const auto repo = loadFixture("fault_coverage_ok");
+    const auto report = runRule(*makeFaultCoverageRule(), repo);
+    EXPECT_EQ(report.findings().size(), 0u) << report.render();
+    EXPECT_EQ(report.suppressedCount(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Suppression-hygiene rule tests: allow() markers naming unknown
+ * rules and unparseable gpuscale-lint markers are findings, so a
+ * typo'd suppression cannot silently stop suppressing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis_test_util.hh"
+
+namespace {
+
+using namespace gpuscale::analysis;
+using namespace gpuscale::analysis::test;
+
+TEST(RuleSuppression, FlagsUnknownRuleNamesAndMalformedMarkers)
+{
+    const auto repo = loadFixture("suppression_bad");
+    const auto report = runRule(*makeSuppressionRule(), repo);
+
+    // allow(locl) names no rule; the clause-free marker is
+    // malformed; allow(layering) is real and stays silent.
+    EXPECT_EQ(findingCount(report, "suppression"), 2u)
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "locl"))
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "malformed"))
+        << report.render();
+    EXPECT_FALSE(anyMessageContains(report, "layering"))
+        << report.render();
+}
+
+TEST(RuleSuppression, KnownRulesOverrideChangesTheVerdict)
+{
+    // With 'locl' force-registered via LintOptions the typo'd allow
+    // becomes valid, leaving only the malformed marker.
+    const auto repo = loadFixture("suppression_bad");
+    LintOptions opts;
+    opts.known_rules = {"locl", "layering"};
+    const auto report = runRule(*makeSuppressionRule(), repo, opts);
+    EXPECT_EQ(findingCount(report, "suppression"), 1u)
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "malformed"))
+        << report.render();
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Token/scope engine tests: the shared lexer and brace classifier
+ * every scope-sensitive rule builds on.  Exercises the corners that
+ * historically break hand-rolled C++ lexers — raw strings, digit
+ * separators, template '>>' closers — plus the scope-tree queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/source_repo.hh"
+
+namespace {
+
+using namespace gpuscale::analysis;
+
+SourceFile
+make(const std::string &text)
+{
+    return SourceFile("src/base/x.cc", text);
+}
+
+std::vector<std::string>
+tokenTexts(const SourceFile &f)
+{
+    std::vector<std::string> out;
+    for (const auto &t : f.tokens().tokens())
+        out.push_back(t.text);
+    return out;
+}
+
+TEST(Tokens, LexesIdentifiersNumbersAndPuncts)
+{
+    const auto f = make("int x = a + 42;\n");
+    const auto texts = tokenTexts(f);
+    const std::vector<std::string> expect = {"int", "x", "=", "a",
+                                             "+",   "42", ";"};
+    EXPECT_EQ(texts, expect);
+}
+
+TEST(Tokens, DigitSeparatorsStayOneNumberToken)
+{
+    // 1'000'000 must lex as a single number; a naive scanner enters
+    // char-literal state at the first quote and eats the rest of
+    // the file.
+    const auto f = make("size_t n = 1'000'000;\nint after = 2;\n");
+    const auto texts = tokenTexts(f);
+    ASSERT_GE(texts.size(), 8u);
+    EXPECT_EQ(texts[3], "1'000'000");
+    // The scanner kept lexing normally afterwards.
+    EXPECT_EQ(texts[5], "int");
+    EXPECT_EQ(texts[6], "after");
+}
+
+TEST(Tokens, CharLiteralsStillWork)
+{
+    const auto f = make("char c = 'a'; int next = 1;\n");
+    const auto texts = tokenTexts(f);
+    // The literal's contents are blanked but the token survives as
+    // a char literal, and lexing continues past it.
+    ASSERT_GE(texts.size(), 5u);
+    EXPECT_EQ(texts[0], "char");
+    EXPECT_EQ(texts[4], ";");
+    EXPECT_EQ(texts[5], "int");
+}
+
+TEST(Tokens, RawStringsDoNotDisturbScopes)
+{
+    // The raw string contains braces, quotes, and a comment marker;
+    // none of it may leak into tokens or scopes.
+    const auto f = make("void f()\n"
+                        "{\n"
+                        "    const char *s = R\"({ \" // } )\";\n"
+                        "    int x = 1;\n"
+                        "}\n");
+    ASSERT_EQ(f.scopes().scopes().size(), 1u);
+    EXPECT_EQ(f.scopes().scopes()[0].kind, ScopeKind::Function);
+    EXPECT_EQ(f.scopes().scopes()[0].name, "f");
+    bool saw_x = false;
+    for (const auto &t : f.tokens().tokens())
+        saw_x = saw_x || t.text == "x";
+    EXPECT_TRUE(saw_x);
+}
+
+TEST(Tokens, TemplateDoubleCloserSplitsFromShift)
+{
+    const auto f =
+        make("std::vector<std::vector<int>> xs;\nint y = a >> b;\n");
+    size_t shifts = 0;
+    for (const auto &t : f.tokens().tokens())
+        shifts += t.text == ">>" ? 1 : 0;
+    // Both the template closer and the genuine shift lex as '>>';
+    // what matters is the scanner doesn't lose its place: the
+    // trailing statement is intact.
+    EXPECT_EQ(shifts, 2u);
+    const auto texts = tokenTexts(f);
+    EXPECT_EQ(texts.back(), ";");
+}
+
+TEST(Tokens, MatchPairsBrackets)
+{
+    const auto f = make("int f(int a) { return g(a, h(a)); }\n");
+    const auto &ts = f.tokens();
+    const auto &toks = ts.tokens();
+    // First '(' belongs to f's parameter list.
+    size_t open = 0;
+    while (toks[open].text != "(")
+        ++open;
+    const size_t close = ts.match(open);
+    ASSERT_NE(close, TokenStream::npos);
+    EXPECT_EQ(toks[close].text, ")");
+    EXPECT_EQ(toks[close + 1].text, "{");
+}
+
+TEST(Scopes, ClassifiesNestingAndNames)
+{
+    const auto f = make("namespace ns {\n"
+                        "class Widget\n"
+                        "{\n"
+                        "  public:\n"
+                        "    void spin(int n)\n"
+                        "    {\n"
+                        "        if (n > 0) {\n"
+                        "            while (n--) {\n"
+                        "            }\n"
+                        "        }\n"
+                        "    }\n"
+                        "};\n"
+                        "} // namespace ns\n");
+    const auto &scopes = f.scopes().scopes();
+    ASSERT_EQ(scopes.size(), 5u);
+    EXPECT_EQ(scopes[0].kind, ScopeKind::Namespace);
+    EXPECT_EQ(scopes[1].kind, ScopeKind::Type);
+    EXPECT_EQ(scopes[2].kind, ScopeKind::Function);
+    EXPECT_EQ(scopes[2].name, "spin");
+    // if and while each open their own Control scope.
+    EXPECT_EQ(scopes[3].kind, ScopeKind::Control);
+    EXPECT_EQ(scopes[3].parent, 2);
+    EXPECT_EQ(scopes[3].depth, 3);
+    EXPECT_EQ(scopes[4].kind, ScopeKind::Control);
+    EXPECT_EQ(scopes[4].parent, 3);
+    EXPECT_EQ(scopes[4].depth, 4);
+}
+
+TEST(Scopes, InnermostAndEnclosingFunctionQueries)
+{
+    const std::string text = "void outer()\n"
+                             "{\n"
+                             "    auto fn = [&]() {\n"
+                             "        int deep = 1;\n"
+                             "    };\n"
+                             "}\n";
+    const auto f = make(text);
+    const size_t deep = text.find("deep");
+    ASSERT_NE(deep, std::string::npos);
+
+    const int inner = f.scopes().innermostAt(deep);
+    ASSERT_GE(inner, 0);
+    EXPECT_EQ(f.scopes().scopes()[inner].kind, ScopeKind::Function);
+
+    // enclosingFunction finds the lambda; outermostFunction walks up
+    // to outer() — the distinction fault-coverage depends on.
+    const int enclosing = f.scopes().enclosingFunction(deep);
+    EXPECT_EQ(enclosing, inner);
+    const int outermost = f.scopes().outermostFunction(deep);
+    ASSERT_GE(outermost, 0);
+    EXPECT_EQ(f.scopes().scopes()[outermost].name, "outer");
+    EXPECT_TRUE(f.scopes().isAncestorOrSelf(outermost, inner));
+    EXPECT_FALSE(f.scopes().isAncestorOrSelf(inner, outermost));
+}
+
+TEST(Scopes, InitializerBracesAreNotControlFlow)
+{
+    const auto f = make("int xs[] = {1, 2, 3};\n"
+                        "void f()\n"
+                        "{\n"
+                        "    std::vector<int> v = {4, 5};\n"
+                        "}\n");
+    size_t functions = 0;
+    size_t inits = 0;
+    for (const auto &s : f.scopes().scopes()) {
+        functions += s.kind == ScopeKind::Function ? 1 : 0;
+        inits += s.kind == ScopeKind::Init ? 1 : 0;
+    }
+    EXPECT_EQ(functions, 1u);
+    EXPECT_EQ(inits, 2u);
+}
+
+TEST(Scopes, GuardAnnotationsResolveFields)
+{
+    const auto f = make("class C\n"
+                        "{\n"
+                        "    std::mutex mu_;\n"
+                        "    // guarded_by(mu_)\n"
+                        "    int standalone_ = 0;\n"
+                        "    int trailing_ = 0; // guarded_by(mu_)\n"
+                        "};\n");
+    const auto &guards = f.guardAnnotations();
+    ASSERT_EQ(guards.size(), 2u);
+    EXPECT_EQ(guards[0].field, "standalone_");
+    EXPECT_EQ(guards[0].mutex, "mu_");
+    EXPECT_EQ(guards[1].field, "trailing_");
+    EXPECT_EQ(guards[1].mutex, "mu_");
+}
+
+} // namespace
