@@ -19,9 +19,16 @@
  * quiesced vs recording and emits BENCH_telemetry.json; the recording
  * overhead is the instrumentation perf gate (<= 2%).
  *
+ * Also sweeps the sparse census over a ladder of sample budgets for
+ * both samplers and emits BENCH_sparse.json: classification-agreement
+ * vs budget curves against the dense census, plus the
+ * agreement_at_10pct_{lhs,active} fields the >= 0.95 accuracy gate
+ * checks (docs/prediction.md).
+ *
  * Usage: bench_runner [--runs=N] [--warmup=N] [--output=FILE]
  *                     [--resilience-output=FILE]
- *                     [--telemetry-output=FILE] [--test-grid]
+ *                     [--telemetry-output=FILE]
+ *                     [--sparse-output=FILE] [--test-grid]
  *
  * --test-grid shrinks the sweep to the 27-point grid so smoke jobs
  * stay fast; the emitted JSON records which grid ran.
@@ -42,6 +49,7 @@
 #include "bench_common.hh"
 #include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
+#include "harness/sparse.hh"
 #include "harness/sweep.hh"
 #include "harness/sweep_cache.hh"
 #include "obs/json.hh"
@@ -59,6 +67,7 @@ struct RunnerOptions {
     std::string output = "BENCH_census.json";
     std::string resilience_output = "BENCH_resilience.json";
     std::string telemetry_output = "BENCH_telemetry.json";
+    std::string sparse_output = "BENCH_sparse.json";
     bool test_grid = false;
 };
 
@@ -394,6 +403,147 @@ run(const RunnerOptions &opts)
     fatal_if(!tw.complete(), "telemetry BENCH JSON incomplete");
     inform("wrote %s", opts.telemetry_output.c_str());
 
+    //
+    // 6. Sparse-census accuracy curves: reconstruct the census from a
+    //    ladder of sample budgets with both samplers and score each
+    //    against the dense census.  The 10%-budget agreement is the
+    //    CI accuracy gate (>= 0.95); the curve around it shows how
+    //    much margin the estimator has.
+    //
+    const auto dense = harness::runCensus(
+        model, space, scaling::TaxonomyParams{});
+    const scaling::SparsePredictor sparse_predictor(space);
+    const std::vector<double> fractions =
+        opts.test_grid ? std::vector<double>{0.35, 0.5, 0.8}
+                       : std::vector<double>{0.04, 0.06, 0.08, 0.10,
+                                             0.15};
+    auto budgetFor = [&](double fraction) {
+        const double raw =
+            fraction * static_cast<double>(space.size());
+        size_t k = static_cast<size_t>(raw + 0.5);
+        k = std::max(k, sparse_predictor.minSamples());
+        return std::min(k, space.size());
+    };
+
+    struct SparseCurvePoint {
+        std::string sampler;
+        size_t samples;
+        double fraction;
+        double agreement;
+        double mean_confidence;
+        uint64_t disagreements;
+        uint64_t disagreements_banded;
+        double wall_s;
+    };
+    std::vector<SparseCurvePoint> curve;
+    double agreement_10pct_lhs = 0.0, agreement_10pct_active = 0.0;
+    std::printf("\nsparse census accuracy vs budget:\n");
+    for (const auto sampler :
+         {scaling::SamplerKind::Lhs, scaling::SamplerKind::Active})
+    {
+        for (const double fraction : fractions) {
+            harness::SparseCensusOptions so;
+            so.samples = budgetFor(fraction);
+            so.sampler = sampler;
+            const auto timing = bench::minOfN(0, 1, [&] {
+                harness::SweepCache::instance().clear();
+                const auto sparse = harness::runSparseCensus(
+                    model, space, so, scaling::TaxonomyParams{});
+                const double agreement = harness::sparseAgreement(
+                    sparse, dense.classifications);
+                double mean_confidence = 0.0;
+                uint64_t disagreements = 0, banded = 0;
+                for (size_t k = 0;
+                     k < sparse.classifications.size(); ++k)
+                {
+                    mean_confidence +=
+                        sparse.reconstructions[k].confidence;
+                    const auto *dc = harness::findClassification(
+                        dense, sparse.classifications[k].kernel);
+                    if (dc == nullptr ||
+                        dc->cls == sparse.classifications[k].cls)
+                    {
+                        continue;
+                    }
+                    ++disagreements;
+                    banded += sparse.reconstructions[k]
+                                  .band_crosses_boundary;
+                }
+                if (!sparse.classifications.empty()) {
+                    mean_confidence /= static_cast<double>(
+                        sparse.classifications.size());
+                }
+                curve.push_back({scaling::samplerKindName(sampler),
+                                 so.samples, fraction, agreement,
+                                 mean_confidence, disagreements,
+                                 banded, 0.0});
+            });
+            curve.back().wall_s = timing.min_s;
+            if (fraction == 0.10 &&
+                sampler == scaling::SamplerKind::Lhs)
+            {
+                agreement_10pct_lhs = curve.back().agreement;
+            }
+            if (fraction == 0.10 &&
+                sampler == scaling::SamplerKind::Active)
+            {
+                agreement_10pct_active = curve.back().agreement;
+            }
+            std::printf("  %-6s k=%4zu (%4.1f%%): agreement %.4f, "
+                        "confidence %.3f, %llu/%llu disagreements "
+                        "banded, %.3f s\n",
+                        curve.back().sampler.c_str(),
+                        curve.back().samples, 100.0 * fraction,
+                        curve.back().agreement,
+                        curve.back().mean_confidence,
+                        static_cast<unsigned long long>(
+                            curve.back().disagreements_banded),
+                        static_cast<unsigned long long>(
+                            curve.back().disagreements),
+                        curve.back().wall_s);
+        }
+    }
+
+    std::ofstream sos(opts.sparse_output);
+    fatal_if(!sos, "cannot write %s", opts.sparse_output.c_str());
+    obs::JsonWriter sw(sos);
+    sw.beginObject();
+    sw.key("schema_version").value(1);
+    sw.key("benchmark").value("sparse");
+    sw.key("grid").value(opts.test_grid ? "test" : "paper");
+    sw.key("kernels").value(static_cast<uint64_t>(kernels.size()));
+    sw.key("configs").value(static_cast<uint64_t>(space.size()));
+    sw.key("min_samples").value(
+        static_cast<uint64_t>(sparse_predictor.minSamples()));
+    sw.key("curves").beginArray();
+    for (const auto &p : curve) {
+        sw.beginObject();
+        sw.key("sampler").value(p.sampler);
+        sw.key("samples").value(static_cast<uint64_t>(p.samples));
+        sw.key("fraction").value(p.fraction);
+        sw.key("agreement").value(p.agreement);
+        sw.key("mean_confidence").value(p.mean_confidence);
+        sw.key("disagreements").value(p.disagreements);
+        sw.key("disagreements_banded").value(p.disagreements_banded);
+        sw.key("wall_s").value(p.wall_s);
+        sw.endObject();
+    }
+    sw.endArray();
+    // The jq gate's fields: agreement at the 10% budget (0 on the
+    // test grid, whose ladder has no 10% point — the gate only runs
+    // on the paper grid).
+    sw.key("agreement_at_10pct_lhs").value(agreement_10pct_lhs);
+    sw.key("agreement_at_10pct_active").value(agreement_10pct_active);
+    sw.key("metrics");
+    sw.beginObject();
+    sw.key("sparse.samples.count").value(static_cast<uint64_t>(
+        registry.shardedCounter("sparse.samples.count").value()));
+    sw.endObject();
+    sw.endObject();
+    sos << '\n';
+    fatal_if(!sw.complete(), "sparse BENCH JSON incomplete");
+    inform("wrote %s", opts.sparse_output.c_str());
+
     bench::emitInstrumentation();
     return 0;
 }
@@ -426,6 +576,8 @@ main(int argc, char **argv)
             opts.resilience_output = arg.substr(20);
         } else if (arg.rfind("--telemetry-output=", 0) == 0) {
             opts.telemetry_output = arg.substr(19);
+        } else if (arg.rfind("--sparse-output=", 0) == 0) {
+            opts.sparse_output = arg.substr(16);
         } else if (arg.rfind("--output=", 0) == 0) {
             opts.output = arg.substr(9);
         } else if (arg == "--test-grid") {
@@ -435,7 +587,8 @@ main(int argc, char **argv)
                 stderr,
                 "usage: bench_runner [--runs=N] [--warmup=N] "
                 "[--output=FILE] [--resilience-output=FILE] "
-                "[--telemetry-output=FILE] [--test-grid]\n");
+                "[--telemetry-output=FILE] [--sparse-output=FILE] "
+                "[--test-grid]\n");
             return 1;
         }
     }

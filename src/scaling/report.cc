@@ -156,6 +156,34 @@ writeClassificationsCsv(
     }
 }
 
+void
+writeSparseCensusCsv(
+    std::ostream &os,
+    const std::vector<SparseReconstruction> &reconstructions)
+{
+    CsvWriter w(os);
+    w.row({"kernel", "class", "cu_shape", "freq_shape", "mem_shape",
+           "cu_gain", "freq_gain", "mem_gain", "perf_range", "cu90",
+           "confidence", "band_crosses", "samples"});
+    for (const auto &r : reconstructions) {
+        const KernelClassification &c = r.cls;
+        w.cell(c.kernel);
+        w.cell(taxonomyClassName(c.cls));
+        w.cell(shapeName(c.cu.shape));
+        w.cell(shapeName(c.freq.shape));
+        w.cell(shapeName(c.mem.shape));
+        w.cell(c.cu.total_gain);
+        w.cell(c.freq.total_gain);
+        w.cell(c.mem.total_gain);
+        w.cell(c.perf_range);
+        w.cell(static_cast<int64_t>(c.cu90));
+        w.cell(r.confidence);
+        w.cell(static_cast<int64_t>(r.band_crosses_boundary ? 1 : 0));
+        w.cell(static_cast<int64_t>(r.samples));
+        w.endRow();
+    }
+}
+
 std::vector<ScalingSurface>
 readSurfacesCsv(std::string_view text, gpu::GpuConfig base)
 {

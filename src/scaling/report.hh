@@ -12,6 +12,7 @@
 
 #include "base/table.hh"
 #include "config_space.hh"
+#include "sparse_predictor.hh"
 #include "suite_analysis.hh"
 #include "taxonomy.hh"
 
@@ -38,6 +39,17 @@ TextTable suiteBreakdownTable(const std::vector<SuiteReport> &reports,
 void writeClassificationsCsv(
     std::ostream &os,
     const std::vector<KernelClassification> &classifications);
+
+/**
+ * Per-kernel sparse-census dump: the classification columns of
+ * writeClassificationsCsv() plus the sparse extras — confidence (the
+ * census.confidence column: ensemble class-agreement in [0, 1]),
+ * band_crosses (1 when the confidence band straddles a class
+ * boundary), and samples (configurations measured).
+ */
+void writeSparseCensusCsv(
+    std::ostream &os,
+    const std::vector<SparseReconstruction> &reconstructions);
 
 /** Per-kernel surface dump (CSV, one row per configuration). */
 void writeSurfaceCsv(std::ostream &os, const ScalingSurface &surface);

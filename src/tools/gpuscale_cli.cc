@@ -8,7 +8,11 @@
  *                         taxonomy tables; writes
  *                         classifications.csv and a run manifest
  *                         (classifications.manifest.json) to the
- *                         working dir.
+ *                         working dir.  With --sparse=K only K
+ *                         configurations per kernel are measured and
+ *                         the rest reconstructed
+ *                         (docs/prediction.md); the CSV gains
+ *                         confidence/band_crosses/samples columns.
  *   classify <file.csv>   classify externally measured surfaces
  *                         (writeSurfaceCsv format — bring your own
  *                         hardware data).
@@ -80,6 +84,7 @@
 #include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
 #include "harness/noise.hh"
+#include "harness/sparse.hh"
 #include "harness/sweep_cache.hh"
 #include "obs/exporter.hh"
 #include "obs/fault_telemetry.hh"
@@ -114,7 +119,15 @@ struct CliOptions {
     std::string checkpoint_dir;
     unsigned metrics_interval_ms = 0;
     bool progress = false;
+
+    /** Sparse census (census --sparse=K); 0 means dense. */
+    size_t sparse_samples = 0;
+    scaling::SamplerKind sampler = scaling::SamplerKind::Lhs;
+    bool sampler_given = false;
+    uint64_t sparse_seed = 0;
 };
+
+void usage();
 
 int
 runCensusCmd(double sigma, const CliOptions &opts,
@@ -191,6 +204,115 @@ runCensusCmd(double sigma, const CliOptions &opts,
     }
 
     obs::RunManifest manifest = harness::censusManifest(census, model);
+    manifest.argv = argv_record;
+    if (sigma > 0) {
+        manifest.seed = noisy.seed();
+        manifest.extra["noise_sigma"] = formatDoubleShortest(sigma);
+    }
+    manifest.extra["report"] = report_path;
+    timer.finalize(manifest);
+    const std::string manifest_path = obs::manifestPathFor(report_path);
+    obs::writeManifest(manifest, manifest_path);
+    inform("wrote %s", manifest_path.c_str());
+    return kExitOk;
+}
+
+int
+runSparseCensusCmd(double sigma, const CliOptions &opts,
+                   const std::vector<std::string> &argv_record)
+{
+    const obs::ManifestTimer timer;
+
+    const gpu::AnalyticModel inner;
+    const harness::NoisyModel noisy(inner, sigma);
+    const gpu::PerfModel &model =
+        sigma > 0 ? static_cast<const gpu::PerfModel &>(noisy)
+                  : static_cast<const gpu::PerfModel &>(inner);
+
+    const auto space = scaling::ConfigSpace::paperGrid();
+    harness::SparseCensusOptions sparse;
+    sparse.samples = opts.sparse_samples;
+    sparse.sampler = opts.sampler;
+    sparse.seed = opts.sparse_seed;
+
+    // Budget bounds are a usage error (exit 3), not a fatal(): the
+    // minimum is the anchor slices plus one, which depends only on
+    // the grid shape.
+    scaling::SparseFitOptions fit;
+    fit.seed = sparse.seed;
+    const scaling::SparsePredictor predictor(space, fit);
+    if (sparse.samples < predictor.minSamples() ||
+        sparse.samples > space.size())
+    {
+        std::fprintf(stderr,
+                     "census: --sparse=%zu out of range [%zu, %zu] "
+                     "for the %zu-point grid\n",
+                     sparse.samples, predictor.minSamples(),
+                     space.size(), space.size());
+        usage();
+        return kExitBadArguments;
+    }
+
+    inform("running sparse census with model '%s': %zu/%zu configs "
+           "per kernel (%s sampler, seed %llu)",
+           model.name().c_str(), sparse.samples, space.size(),
+           scaling::samplerKindName(sparse.sampler).c_str(),
+           static_cast<unsigned long long>(sparse.seed));
+    const size_t num_kernels = workloads::WorkloadRegistry::instance()
+                                   .allKernels().size();
+    obs::ProgressReporter progress("census", num_kernels,
+                                   opts.progress);
+
+    const auto census = harness::runSparseCensus(
+        model, space, sparse, scaling::TaxonomyParams{}, &progress);
+    progress.finish();
+
+    std::fputs(scaling::classHistogramTable(census.classifications)
+                   .render().c_str(),
+               stdout);
+    std::printf("\n");
+    std::fputs(
+        scaling::suiteBreakdownTable(
+            scaling::analyzeSuites(census.classifications, 44), 44)
+            .render().c_str(),
+        stdout);
+
+    double mean_confidence = 0.0;
+    size_t low_confidence = 0;
+    for (const auto &r : census.reconstructions) {
+        mean_confidence += r.confidence;
+        low_confidence += r.band_crosses_boundary;
+    }
+    if (!census.reconstructions.empty())
+        mean_confidence /=
+            static_cast<double>(census.reconstructions.size());
+    std::printf("\nmean confidence %.3f; %zu of %zu kernels near a "
+                "class boundary\n",
+                mean_confidence, low_confidence,
+                census.reconstructions.size());
+
+    const std::string report_path = "classifications.csv";
+    const bool wrote_report = obs::retryWithBackoff(
+        obs::retryPolicy(), "classifications.csv write", [&]() {
+            if (faultPoint("cli.report.write"))
+                return false;
+            std::ofstream os(report_path);
+            if (!os)
+                return false;
+            scaling::writeSparseCensusCsv(os, census.reconstructions);
+            return os.good();
+        });
+    if (wrote_report) {
+        inform("wrote %s (%zu rows)", report_path.c_str(),
+               census.reconstructions.size());
+    } else {
+        warn("cannot write %s; census results shown above only",
+             report_path.c_str());
+        obs::noteDegradation("cli.report.write");
+    }
+
+    obs::RunManifest manifest =
+        harness::sparseCensusManifest(census, model);
     manifest.argv = argv_record;
     if (sigma > 0) {
         manifest.seed = noisy.seed();
@@ -302,6 +424,12 @@ usage()
         "  --progress           live sweep progress on stderr\n"
         "  --sweep-cache=DIR    persistent sweep cache directory\n"
         "  --checkpoint=DIR     crash-safe census journal directory\n"
+        "  --sparse=K           census: measure only K configs per\n"
+        "                       kernel, reconstruct the rest\n"
+        "                       (docs/prediction.md)\n"
+        "  --sampler=NAME       sparse sample planner: lhs (default)\n"
+        "                       or active\n"
+        "  --sparse-seed=N      seed for sparse plans/ensembles\n"
         "env: GPUSCALE_FAULTS, GPUSCALE_FAULT_SEED, GPUSCALE_RETRY "
         "(see docs/fault_tolerance.md),\n"
         "     GPUSCALE_METRICS_INTERVAL (ms, same as "
@@ -372,6 +500,46 @@ main(int argc, char **argv)
             opts.checkpoint_dir = arg.substr(13);
         } else if (arg == "--progress") {
             opts.progress = true;
+        } else if (arg.rfind("--sparse=", 0) == 0) {
+            // from_chars, not atoi: "8x9" must be a usage error, not
+            // a silent 8-sample census.
+            const auto parsed = parseDouble(arg.substr(9));
+            if (!parsed || *parsed <= 0 ||
+                *parsed != static_cast<size_t>(*parsed))
+            {
+                std::fprintf(stderr,
+                             "--sparse: '%s' is not a positive "
+                             "sample count\n",
+                             arg.substr(9).c_str());
+                usage();
+                return kExitBadArguments;
+            }
+            opts.sparse_samples = static_cast<size_t>(*parsed);
+        } else if (arg.rfind("--sampler=", 0) == 0) {
+            if (!scaling::parseSamplerKind(arg.substr(10),
+                                           &opts.sampler))
+            {
+                std::fprintf(stderr,
+                             "--sampler: '%s' is not a sampler "
+                             "(lhs, active)\n",
+                             arg.substr(10).c_str());
+                usage();
+                return kExitBadArguments;
+            }
+            opts.sampler_given = true;
+        } else if (arg.rfind("--sparse-seed=", 0) == 0) {
+            const auto parsed = parseDouble(arg.substr(14));
+            if (!parsed || *parsed < 0 ||
+                *parsed != static_cast<uint64_t>(*parsed))
+            {
+                std::fprintf(stderr,
+                             "--sparse-seed: '%s' is not a "
+                             "non-negative integer\n",
+                             arg.substr(14).c_str());
+                usage();
+                return kExitBadArguments;
+            }
+            opts.sparse_seed = static_cast<uint64_t>(*parsed);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();
@@ -435,7 +603,30 @@ main(int argc, char **argv)
             }
             sigma = *parsed;
         }
-        rc = runCensusCmd(sigma, opts, argv_record);
+        if (opts.sparse_samples > 0) {
+            if (!opts.checkpoint_dir.empty()) {
+                // The census journal records full-sweep shards; a
+                // sparse census measures per-plan points, so a
+                // replayed journal would silently hand it dense
+                // vectors.  The sweep cache covers sparse resumption
+                // instead.
+                std::fprintf(stderr,
+                             "census: --checkpoint is incompatible "
+                             "with --sparse (use --sweep-cache)\n");
+                usage();
+                return kExitBadArguments;
+            }
+            rc = runSparseCensusCmd(sigma, opts, argv_record);
+        } else {
+            if (opts.sampler_given || opts.sparse_seed != 0) {
+                std::fprintf(stderr,
+                             "census: --sampler/--sparse-seed need "
+                             "--sparse=K\n");
+                usage();
+                return kExitBadArguments;
+            }
+            rc = runCensusCmd(sigma, opts, argv_record);
+        }
     } else if (cmd == "classify") {
         if (args.size() < 2) {
             std::fprintf(stderr, "classify needs a CSV path\n");

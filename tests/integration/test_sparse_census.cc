@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Golden-data regression test for the sparse census.
+ *
+ * Runs the K=64 LHS sparse census (seed 0) over all 267 zoo kernels
+ * on the paper grid and compares the writeSparseCensusCsv() dump
+ * byte-for-byte against tests/golden/sparse_census.csv.  Because the
+ * sampler, the backfit, and the bootstrap ensemble are all seeded and
+ * iteration-fixed, the file is exactly reproducible; any drift in the
+ * model, the planner, or the fit shows up here as a name-level diff.
+ * When the change is *intended*, regenerate with:
+ *
+ *     test_sparse_census --update-golden
+ *
+ * (the golden directory comes from GPUSCALE_GOLDEN_DIR, exported by
+ * tests/CMakeLists.txt, so the flag rewrites the checked-in file).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpu/analytic_model.hh"
+#include "harness/sparse.hh"
+#include "scaling/report.hh"
+
+namespace gpuscale {
+namespace {
+
+bool update_golden = false;
+
+std::string
+goldenDir()
+{
+    const char *dir = std::getenv("GPUSCALE_GOLDEN_DIR");
+    return dir != nullptr ? dir : "tests/golden";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return "";
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << content;
+}
+
+/** One sparse census per binary; every test compares against it. */
+const harness::SparseCensusResult &
+sparseCensus()
+{
+    static const harness::SparseCensusResult result = [] {
+        harness::SparseCensusOptions options;
+        options.samples = 64;
+        options.sampler = scaling::SamplerKind::Lhs;
+        options.seed = 0;
+        return harness::runSparseCensus(gpu::AnalyticModel{},
+                                        std::nullopt, options);
+    }();
+    return result;
+}
+
+std::string
+sparseCensusCsv()
+{
+    std::ostringstream os;
+    scaling::writeSparseCensusCsv(os, sparseCensus().reconstructions);
+    return os.str();
+}
+
+TEST(GoldenSparseCensusTest, ReconstructionsMatchGoldenCsv)
+{
+    const std::string path = goldenDir() + "/sparse_census.csv";
+    const std::string current = sparseCensusCsv();
+
+    if (update_golden) {
+        writeFile(path, current);
+        GTEST_SKIP() << "updated " << path;
+    }
+
+    const std::string golden = readFile(path);
+    ASSERT_FALSE(golden.empty())
+        << path << " missing — run test_sparse_census --update-golden";
+
+    if (golden == current) {
+        SUCCEED();
+        return;
+    }
+    // Byte mismatch: report the first differing kernels by line so
+    // the failure names the defectors instead of dumping both files.
+    auto splitLines = [](const std::string &text) {
+        std::vector<std::string> lines;
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+        return lines;
+    };
+    const auto glines = splitLines(golden);
+    const auto clines = splitLines(current);
+    const size_t n = std::max(glines.size(), clines.size());
+    size_t reported = 0;
+    for (size_t i = 0; i < n && reported < 10; ++i) {
+        const std::string &g = i < glines.size() ? glines[i] : "";
+        const std::string &c = i < clines.size() ? clines[i] : "";
+        if (g != c) {
+            ADD_FAILURE() << "sparse_census.csv line " << (i + 1)
+                          << "\n  golden:  " << g
+                          << "\n  current: " << c;
+            ++reported;
+        }
+    }
+    ADD_FAILURE() << "sparse census drifted from " << path
+                  << " — if intended, regenerate with "
+                     "test_sparse_census --update-golden";
+}
+
+TEST(GoldenSparseCensusTest, CensusHasThePaperShape)
+{
+    // Guards against committing a golden generated from a test grid
+    // or a different budget.
+    EXPECT_EQ(sparseCensus().space.size(), 891u);
+    EXPECT_EQ(sparseCensus().reconstructions.size(), 267u);
+    EXPECT_EQ(sparseCensus().classifications.size(), 267u);
+    EXPECT_EQ(sparseCensus().options.samples, 64u);
+    for (const auto &rec : sparseCensus().reconstructions)
+        EXPECT_EQ(rec.samples, 64u);
+}
+
+} // namespace
+} // namespace gpuscale
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden")
+            gpuscale::update_golden = true;
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
