@@ -25,21 +25,35 @@
  * agreement_at_10pct_{lhs,active} fields the >= 0.95 accuracy gate
  * checks (docs/prediction.md).
  *
+ * Also drives an in-process gpuscaled service over its Unix socket
+ * (docs/service.md) and emits BENCH_service.json: a latency phase
+ * (p50/p99/qps across concurrent clients) and a saturation phase
+ * against a deliberately tiny admission bound, whose gates are
+ * sheds > 0 (overload is shed, not queued) and stalls == 0 (no call
+ * ever outlives its deadline plus grace).
+ *
  * Usage: bench_runner [--runs=N] [--warmup=N] [--output=FILE]
  *                     [--resilience-output=FILE]
  *                     [--telemetry-output=FILE]
- *                     [--sparse-output=FILE] [--test-grid]
+ *                     [--sparse-output=FILE]
+ *                     [--service-output=FILE] [--test-grid]
  *
  * --test-grid shrinks the sweep to the 27-point grid so smoke jobs
  * stay fast; the emitted JSON records which grid ran.
  */
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +69,8 @@
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/sharded.hh"
+#include "service/client.hh"
+#include "service/server.hh"
 #include "workloads/registry.hh"
 
 namespace {
@@ -68,6 +84,7 @@ struct RunnerOptions {
     std::string resilience_output = "BENCH_resilience.json";
     std::string telemetry_output = "BENCH_telemetry.json";
     std::string sparse_output = "BENCH_sparse.json";
+    std::string service_output = "BENCH_service.json";
     bool test_grid = false;
 };
 
@@ -544,6 +561,249 @@ run(const RunnerOptions &opts)
     fatal_if(!sw.complete(), "sparse BENCH JSON incomplete");
     inform("wrote %s", opts.sparse_output.c_str());
 
+    //
+    // 7. Service latency and saturation: gpuscaled in-process over its
+    //    Unix socket.  The latency phase measures p50/p99/qps with the
+    //    admission bound wide open; the saturation phase squeezes the
+    //    bound to two slots under eight hammering clients and checks
+    //    the robustness contract the CI gates enforce — overload is
+    //    shed with typed RETRY_AFTER frames (sheds > 0) and no call
+    //    ever outlives its deadline plus grace (stalls == 0).
+    //
+    struct ServicePhase {
+        uint64_t calls = 0;
+        uint64_t ok_frames = 0;
+        uint64_t sheds = 0;
+        uint64_t stalls = 0;
+        uint64_t errors = 0;
+        double wall_s = 0.0;
+        std::vector<double> latencies_ms;
+    };
+    constexpr double kStallGraceMs = 500.0;
+
+    const std::filesystem::path service_dir =
+        std::filesystem::temp_directory_path() /
+        ("gpuscaled-bench-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(service_dir);
+
+    auto runServicePhase = [&](const service::ServiceOptions &sopts,
+                               int nthreads, int per_thread,
+                               double deadline_ms,
+                               bool predict_only) {
+        ServicePhase phase;
+        service::Service svc(sopts, model);
+        fatal_if(!svc.start(), "bench service failed to start on %s",
+                 sopts.socket_path.c_str());
+        std::thread server([&svc] {
+            svc.loadCensus();
+            svc.serve();
+        });
+        // Wait for the census so the numbers measure steady state.
+        {
+            service::Client warm(sopts.socket_path);
+            fatal_if(!warm.connect(30000.0),
+                     "bench client cannot connect");
+            for (;;) {
+                std::string resp;
+                if (warm.call("{\"id\":1,\"op\":\"health\"}", 5000.0,
+                              &resp) &&
+                    resp.find("\"census_loaded\":true") !=
+                        std::string::npos)
+                {
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        }
+
+        std::mutex merge_mutex;
+        std::atomic<uint64_t> ok_frames{0}, sheds{0}, stalls{0},
+            errors{0};
+        const auto phase_start = std::chrono::steady_clock::now();
+        std::vector<std::thread> workers;
+        for (int t = 0; t < nthreads; ++t) {
+            workers.emplace_back([&, t] {
+                const std::string client_name =
+                    "bench-" + std::to_string(t);
+                service::Client client(sopts.socket_path);
+                client.connect(5000.0);
+                std::vector<double> local;
+                local.reserve(static_cast<size_t>(per_thread));
+                for (int i = 0; i < per_thread; ++i) {
+                    const gpu::KernelDesc *k =
+                        kernels[(static_cast<size_t>(t) * 131 +
+                                 static_cast<size_t>(i)) %
+                                kernels.size()];
+                    std::string req = "{\"id\":" + std::to_string(i) +
+                                      ",\"client\":\"" + client_name +
+                                      "\",\"deadline_ms\":" +
+                                      std::to_string(deadline_ms);
+                    switch (predict_only ? 1 : i % 4) {
+                    case 0:
+                        req += ",\"op\":\"classify\",\"params\":"
+                               "{\"kernel\":\"" + k->name + "\"}}";
+                        break;
+                    case 1:
+                        req += ",\"op\":\"predict\",\"params\":"
+                               "{\"kernel\":\"" + k->name +
+                               "\",\"cu\":8,\"core_clk_mhz\":800,"
+                               "\"mem_clk_mhz\":1000}}";
+                        break;
+                    case 2:
+                        req += ",\"op\":\"health\"}";
+                        break;
+                    default:
+                        req += ",\"op\":\"stats\"}";
+                        break;
+                    }
+                    const auto t0 = std::chrono::steady_clock::now();
+                    std::string resp;
+                    const bool transported = client.call(
+                        req, deadline_ms + 2000.0, &resp);
+                    const double ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    if (ms > deadline_ms + kStallGraceMs)
+                        stalls.fetch_add(1);
+                    if (!transported) {
+                        errors.fetch_add(1);
+                        client.close();
+                        client.connect(5000.0);
+                        continue;
+                    }
+                    local.push_back(ms);
+                    try {
+                        const obs::JsonValue doc = obs::parseJson(resp);
+                        if (doc.at("ok").boolean) {
+                            ok_frames.fetch_add(1);
+                        } else if (doc.at("error").at("code").str ==
+                                   "RETRY_AFTER") {
+                            sheds.fetch_add(1);
+                        }
+                    } catch (const std::exception &) {
+                        errors.fetch_add(1); // torn frame
+                    }
+                }
+                std::lock_guard<std::mutex> lock(merge_mutex);
+                phase.latencies_ms.insert(phase.latencies_ms.end(),
+                                          local.begin(), local.end());
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+        phase.wall_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() -
+                           phase_start)
+                           .count();
+        svc.requestDrain();
+        server.join();
+        phase.calls = static_cast<uint64_t>(nthreads) *
+                      static_cast<uint64_t>(per_thread);
+        phase.ok_frames = ok_frames.load();
+        phase.sheds = sheds.load();
+        phase.stalls = stalls.load();
+        phase.errors = errors.load();
+        std::sort(phase.latencies_ms.begin(),
+                  phase.latencies_ms.end());
+        return phase;
+    };
+    auto percentile = [](const std::vector<double> &sorted,
+                         double p) {
+        if (sorted.empty())
+            return 0.0;
+        const size_t idx = std::min(
+            sorted.size() - 1,
+            static_cast<size_t>(p * static_cast<double>(
+                                        sorted.size())));
+        return sorted[idx];
+    };
+
+    service::ServiceOptions latency_opts;
+    latency_opts.socket_path = (service_dir / "latency.sock").string();
+    latency_opts.test_grid = opts.test_grid;
+    latency_opts.max_inflight = 64;
+    latency_opts.client_quota = 16;
+    bench::banner("BENCH", "gpuscaled service latency");
+    const ServicePhase latency =
+        runServicePhase(latency_opts, 4, 200, 2000.0, false);
+    const double p50 = percentile(latency.latencies_ms, 0.50);
+    const double p99 = percentile(latency.latencies_ms, 0.99);
+    const double qps =
+        static_cast<double>(latency.calls) / latency.wall_s;
+    std::printf("service latency: %" PRIu64 " calls, p50 %.3f ms, "
+                "p99 %.3f ms, %.0f qps, %" PRIu64 " errors\n",
+                latency.calls, p50, p99, qps, latency.errors);
+
+    service::ServiceOptions sat_opts;
+    sat_opts.socket_path = (service_dir / "saturate.sock").string();
+    sat_opts.test_grid = opts.test_grid;
+    sat_opts.max_inflight = 2;
+    sat_opts.client_quota = 1;
+    bench::banner("BENCH", "gpuscaled service saturation");
+    const ServicePhase sat =
+        runServicePhase(sat_opts, 8, 50, 1000.0, true);
+    std::printf("service saturation: %" PRIu64 " calls, %" PRIu64
+                " ok, %" PRIu64 " shed, %" PRIu64 " stalls, %" PRIu64
+                " errors\n",
+                sat.calls, sat.ok_frames, sat.sheds, sat.stalls,
+                sat.errors);
+
+    std::error_code cleanup_ec;
+    std::filesystem::remove_all(service_dir, cleanup_ec);
+
+    std::ofstream svos(opts.service_output);
+    fatal_if(!svos, "cannot write %s", opts.service_output.c_str());
+    obs::JsonWriter svw(svos);
+    svw.beginObject();
+    svw.key("schema_version").value(1);
+    svw.key("benchmark").value("service");
+    svw.key("grid").value(opts.test_grid ? "test" : "paper");
+    svw.key("calls").value(latency.calls + sat.calls);
+    svw.key("qps").value(qps);
+    svw.key("p50_ms").value(p50);
+    svw.key("p99_ms").value(p99);
+    svw.key("sheds").value(latency.sheds + sat.sheds);
+    svw.key("stalls").value(latency.stalls + sat.stalls);
+    svw.key("errors").value(latency.errors + sat.errors);
+    svw.key("latency");
+    svw.beginObject();
+    svw.key("threads").value(static_cast<uint64_t>(4));
+    svw.key("calls").value(latency.calls);
+    svw.key("ok_frames").value(latency.ok_frames);
+    svw.key("sheds").value(latency.sheds);
+    svw.key("stalls").value(latency.stalls);
+    svw.key("errors").value(latency.errors);
+    svw.key("wall_s").value(latency.wall_s);
+    svw.endObject();
+    svw.key("saturation");
+    svw.beginObject();
+    svw.key("threads").value(static_cast<uint64_t>(8));
+    svw.key("max_inflight").value(static_cast<uint64_t>(2));
+    svw.key("calls").value(sat.calls);
+    svw.key("ok_frames").value(sat.ok_frames);
+    svw.key("sheds").value(sat.sheds);
+    svw.key("stalls").value(sat.stalls);
+    svw.key("errors").value(sat.errors);
+    svw.key("wall_s").value(sat.wall_s);
+    svw.endObject();
+    svw.key("metrics");
+    svw.beginObject();
+    svw.key("service.admitted").value(static_cast<uint64_t>(
+        registry.counter("service.admitted").value()));
+    svw.key("service.shed").value(static_cast<uint64_t>(
+        registry.counter("service.shed").value()));
+    svw.key("service.predict.batches").value(static_cast<uint64_t>(
+        registry.counter("service.predict.batches").value()));
+    svw.key("service.predict.coalesced").value(static_cast<uint64_t>(
+        registry.counter("service.predict.coalesced").value()));
+    svw.endObject();
+    svw.endObject();
+    svos << '\n';
+    fatal_if(!svw.complete(), "service BENCH JSON incomplete");
+    inform("wrote %s", opts.service_output.c_str());
+
     bench::emitInstrumentation();
     return 0;
 }
@@ -578,6 +838,8 @@ main(int argc, char **argv)
             opts.telemetry_output = arg.substr(19);
         } else if (arg.rfind("--sparse-output=", 0) == 0) {
             opts.sparse_output = arg.substr(16);
+        } else if (arg.rfind("--service-output=", 0) == 0) {
+            opts.service_output = arg.substr(17);
         } else if (arg.rfind("--output=", 0) == 0) {
             opts.output = arg.substr(9);
         } else if (arg == "--test-grid") {
@@ -588,7 +850,7 @@ main(int argc, char **argv)
                 "usage: bench_runner [--runs=N] [--warmup=N] "
                 "[--output=FILE] [--resilience-output=FILE] "
                 "[--telemetry-output=FILE] [--sparse-output=FILE] "
-                "[--test-grid]\n");
+                "[--service-output=FILE] [--test-grid]\n");
             return 1;
         }
     }

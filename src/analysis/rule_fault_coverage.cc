@@ -8,7 +8,9 @@
  *
  * The rule walks every token stream for raw I/O operations — stdio
  * opens, fstream opens, rename/remove/unlink, POSIX ::write/::read,
- * and std::filesystem mutators — and requires each to appear inside
+ * socket-plane calls (socket/bind/listen/accept/connect and the
+ * send/recv family, which back the gpuscaled service protocol), and
+ * std::filesystem mutators — and requires each to appear inside
  * a function whose body (including nested lambdas) calls
  * faultPoint() or retryWithBackoff().  base/fault and obs/retry
  * themselves are exempt: they are the envelope.  Deliberate
@@ -43,6 +45,11 @@ ioCallNames()
         "rename", "remove", "unlink",
         "create_directory", "create_directories", "remove_all",
         "resize_file", "copy_file",
+        // Service plane: socket setup and per-connection I/O must sit
+        // inside the fault/retry envelope so crash tests can reach
+        // the accept/read/write/admit paths (docs/service.md).
+        "socket", "bind", "listen", "accept", "connect",
+        "recv", "send", "recvfrom", "sendto",
     };
     return names;
 }
@@ -120,6 +127,15 @@ class FaultCoverageRule : public Rule
             return false;
         if (i >= 1 &&
             (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+            return false;
+        // `Client::connect(` is a member definition or a class-scoped
+        // wrapper call, never the raw free function — but std:: /
+        // filesystem:: / fs:: qualifiers still name the real library
+        // (std::rename, fs::remove_all).
+        if (i >= 2 && toks[i - 1].text == "::" &&
+            toks[i - 2].kind == TokKind::Identifier &&
+            toks[i - 2].text != "std" && toks[i - 2].text != "fs" &&
+            toks[i - 2].text != "filesystem")
             return false;
         return true;
     }

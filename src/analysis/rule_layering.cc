@@ -2,7 +2,7 @@
  * @file
  * Layering rule: quoted includes must flow downward through the
  * layer order base -> obs -> gpu -> workloads -> scaling -> harness
- * -> analysis -> tools, and the header include graph must be
+ * -> service -> analysis -> tools, and the header include graph must be
  * acyclic.  Local includes ("registry.hh") resolve to the includer's
  * own directory and are always same-layer; path includes resolve
  * against src/ (or the includer's directory for nested dirs like
@@ -31,7 +31,7 @@ layerRanks()
     static const std::map<std::string, int> ranks = {
         {"base", 0},     {"obs", 1},     {"gpu", 2},
         {"workloads", 3}, {"scaling", 4}, {"harness", 5},
-        {"analysis", 6}, {"tools", 7},
+        {"service", 6},  {"analysis", 7}, {"tools", 8},
     };
     return ranks;
 }
@@ -162,7 +162,7 @@ class LayeringRule : public Rule
                  strprintf("layer '%s' must not include '%s' "
                            "(\"%s\"): the layer order is base -> obs "
                            "-> gpu -> workloads -> scaling -> "
-                           "harness -> analysis -> tools",
+                           "harness -> service -> analysis -> tools",
                            file.layer().c_str(), top.c_str(),
                            inc.path.c_str()),
                  report);

@@ -1,0 +1,82 @@
+// Cooperative cancellation for parallel regions.
+//
+// A CancelToken carries two signals: an explicit cancel() flag (used by
+// the service drain path) and an optional wall-clock deadline (used by
+// per-request budgets).  Workers poll expired() between chunks — there
+// is no watchdog thread and no forced unwinding; a region that never
+// polls is never cancelled.  When a pool worker observes an expired
+// token it throws CancelledError, which rides the thread pool's normal
+// first-error-wins capture machinery back to the caller of parallelFor.
+//
+// The token is owned by the caller and must outlive the parallel region
+// it is passed to.  All members are safe to call from any thread.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace gpuscale::harness {
+
+/** Thrown out of parallelFor when its CancelToken expires mid-region. */
+class CancelledError : public std::runtime_error {
+  public:
+    explicit CancelledError(const char *what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+class CancelToken {
+  public:
+    /** Request cancellation; expired() returns true from now on. */
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    /** Arm a wall-clock deadline; expired() turns true once it passes. */
+    void
+    armDeadline(std::chrono::steady_clock::time_point deadline)
+    {
+        deadline_ = deadline;
+        armed_.store(true, std::memory_order_release);
+    }
+
+    /** Convenience: arm a deadline `budget_ms` from now. */
+    void
+    armBudgetMs(double budget_ms)
+    {
+        armDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(
+                        static_cast<long long>(budget_ms * 1000.0)));
+    }
+
+    /** True once cancel() was called or an armed deadline passed. */
+    bool
+    expired() const
+    {
+        if (cancelled_.load(std::memory_order_acquire))
+            return true;
+        if (armed_.load(std::memory_order_acquire) &&
+            std::chrono::steady_clock::now() >= deadline_)
+            return true;
+        return false;
+    }
+
+    /** True only for explicit cancel(), not deadline expiry. */
+    bool
+    cancelledExplicitly() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::atomic<bool> armed_{false};
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+} // namespace gpuscale::harness

@@ -19,7 +19,8 @@ CensusResult
 runCensus(const gpu::PerfModel &model,
           std::optional<scaling::ConfigSpace> space,
           const scaling::TaxonomyParams &params,
-          obs::ProgressReporter *progress, CensusJournal *journal)
+          obs::ProgressReporter *progress, CensusJournal *journal,
+          const CancelToken *cancel)
 {
     GPUSCALE_TRACE_SCOPE("census");
     CensusResult census{
@@ -30,8 +31,8 @@ runCensus(const gpu::PerfModel &model,
     debuglog("census: %zu kernels x %zu configs with model '%s'",
              kernels.size(), census.space.size(),
              model.name().c_str());
-    census.surfaces =
-        sweepKernels(model, kernels, census.space, progress, journal);
+    census.surfaces = sweepKernels(model, kernels, census.space,
+                                   progress, journal, cancel);
     {
         GPUSCALE_TRACE_SCOPE("census.classify");
         census.classifications =

@@ -60,7 +60,7 @@ struct ParallelMetrics {
 
 void
 parallelFor(size_t n, const std::function<void(size_t)> &fn,
-            unsigned max_threads)
+            unsigned max_threads, const CancelToken *cancel)
 {
     if (n == 0)
         return;
@@ -83,8 +83,15 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
     if (workers <= 1 || ThreadPool::onWorkerThread()) {
         metrics.workers_gauge.set(1.0);
         GPUSCALE_TRACE_SCOPE("parallel_for.serial");
-        for (size_t i = 0; i < n; ++i)
+        // Poll the token every 64 indices: frequent enough for
+        // request-deadline granularity, cheap enough that the clock
+        // read stays invisible next to the work items.
+        for (size_t i = 0; i < n; ++i) {
+            if (cancel != nullptr && (i & 63) == 0 && cancel->expired())
+                throw CancelledError(
+                    "parallel region cancelled (drain or deadline)");
             fn(i);
+        }
         metrics.imbalance.set(1.0);
         return;
     }
@@ -100,7 +107,7 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
     // Rethrows the first worker exception after draining the region;
     // the imbalance gauge keeps its previous value in that case.
     std::vector<uint64_t> per_worker_tasks;
-    pool.run(n, fn, participants, per_worker_tasks);
+    pool.run(n, fn, participants, per_worker_tasks, cancel);
 
     // Imbalance: busiest worker's task count over the ideal n/workers
     // share.  1.0 is perfect; chunked dynamic dispensing keeps this

@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "harness/cancel.hh"
+
 namespace gpuscale {
 namespace harness {
 
@@ -28,9 +30,16 @@ namespace harness {
  * Run fn(i) for every i in [0, n), using up to max_threads workers
  * (0 = hardware concurrency).  Rethrows the first exception any
  * fn(i) raised once the remaining work has been drained.
+ *
+ * A non-null `cancel` token is polled cooperatively — once per
+ * dispensed chunk on the pool path, every few indices on the serial
+ * path.  An expired token aborts the region with CancelledError
+ * (cancel.hh); completed indices keep their results, undispensed
+ * indices are abandoned.  The token must outlive the call.
  */
 void parallelFor(size_t n, const std::function<void(size_t)> &fn,
-                 unsigned max_threads = 0);
+                 unsigned max_threads = 0,
+                 const CancelToken *cancel = nullptr);
 
 } // namespace harness
 } // namespace gpuscale

@@ -126,7 +126,8 @@ std::vector<scaling::ScalingSurface>
 sweepKernels(const gpu::PerfModel &model,
              const std::vector<const gpu::KernelDesc *> &kernels,
              const scaling::ConfigSpace &space,
-             obs::ProgressReporter *progress, CensusJournal *journal)
+             obs::ProgressReporter *progress, CensusJournal *journal,
+             const CancelToken *cancel)
 {
     for (const auto *kernel : kernels)
         panic_if(kernel == nullptr, "sweepKernels: null kernel");
@@ -177,7 +178,7 @@ sweepKernels(const gpu::PerfModel &model,
         const auto t1 = std::chrono::steady_clock::now();
         metrics.shard_latency.record(
             std::chrono::duration<double>(t1 - t0).count());
-    });
+    }, 0, cancel);
 
     std::vector<scaling::ScalingSurface> surfaces;
     surfaces.reserve(kernels.size());

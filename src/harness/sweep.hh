@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "gpu/perf_model.hh"
+#include "harness/cancel.hh"
 #include "scaling/config_space.hh"
 #include "scaling/surface.hh"
 
@@ -50,13 +51,18 @@ scaling::ScalingSurface sweepKernel(const gpu::PerfModel &model,
  * @param kernels non-owning kernel pointers; all non-null.
  * @param progress optional reporter ticked once per finished kernel.
  * @param journal optional checkpoint journal for crash-safe resume.
+ * @param cancel optional cooperative-cancellation token (cancel.hh);
+ *        an expired token aborts the sweep with CancelledError.
+ *        Kernels already journaled stay journaled, so a cancelled
+ *        sweep resumes exactly like a killed one.
  */
 std::vector<scaling::ScalingSurface> sweepKernels(
     const gpu::PerfModel &model,
     const std::vector<const gpu::KernelDesc *> &kernels,
     const scaling::ConfigSpace &space,
     obs::ProgressReporter *progress = nullptr,
-    CensusJournal *journal = nullptr);
+    CensusJournal *journal = nullptr,
+    const CancelToken *cancel = nullptr);
 
 } // namespace harness
 } // namespace gpuscale

@@ -86,6 +86,18 @@ ThreadPool::runSlot(Task &task, unsigned slot)
     GPUSCALE_TRACE_SCOPE("parallel_for.worker");
     uint64_t done = 0;
     while (!task.failed.load(std::memory_order_relaxed)) {
+        // Cooperative cancellation: one token poll per chunk, the
+        // same granularity as the fault probe below.  The throw rides
+        // the first-error capture so every participant stops
+        // dispensing and the caller sees CancelledError.
+        if (task.cancel != nullptr && task.cancel->expired()) {
+            std::lock_guard<std::mutex> lock(task.mu);
+            if (!task.error)
+                task.error = std::make_exception_ptr(CancelledError(
+                    "parallel region cancelled (drain or deadline)"));
+            task.failed.store(true, std::memory_order_release);
+            break;
+        }
         const size_t begin =
             task.next.fetch_add(task.chunk, std::memory_order_relaxed);
         if (begin >= task.n)
@@ -155,7 +167,8 @@ ThreadPool::workerLoop()
 void
 ThreadPool::run(size_t n, const std::function<void(size_t)> &fn,
                 unsigned participants,
-                std::vector<uint64_t> &per_worker_tasks)
+                std::vector<uint64_t> &per_worker_tasks,
+                const CancelToken *cancel)
 {
     panic_if(onWorkerThread(),
              "ThreadPool::run from a pool worker would deadlock; "
@@ -176,6 +189,7 @@ ThreadPool::run(size_t n, const std::function<void(size_t)> &fn,
     task->fn = &fn;
     task->participants = participants;
     task->per_worker_tasks = &per_worker_tasks;
+    task->cancel = cancel;
 
     {
         std::lock_guard<std::mutex> lock(mu_);

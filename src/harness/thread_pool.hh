@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "harness/cancel.hh"
+
 namespace gpuscale {
 namespace harness {
 
@@ -82,10 +84,16 @@ class ThreadPool
      * per_worker_tasks is resized to `participants` and filled with
      * each participant's executed-index count (for the imbalance
      * gauge).
+     *
+     * When `cancel` is non-null, each participant polls it before
+     * dispensing a chunk; an expired token is reported by throwing
+     * CancelledError through the same first-error-wins machinery, so
+     * cancellation looks exactly like a work-item failure to callers.
      */
     void run(size_t n, const std::function<void(size_t)> &fn,
              unsigned participants,
-             std::vector<uint64_t> &per_worker_tasks);
+             std::vector<uint64_t> &per_worker_tasks,
+             const CancelToken *cancel = nullptr);
 
     /** Worker threads currently alive. */
     unsigned size() const;
@@ -120,6 +128,8 @@ class ThreadPool
         std::condition_variable done_cv;
         std::exception_ptr error;
         std::vector<uint64_t> *per_worker_tasks = nullptr;
+        /** Optional cooperative-cancellation token, polled per chunk. */
+        const CancelToken *cancel = nullptr;
     };
 
     ThreadPool() = default;

@@ -146,12 +146,15 @@ JsonWriter::value(double v)
         // JSON has no NaN/Inf; null keeps the document valid.
         os_ << "null";
     } else {
-        // std::to_chars is locale-independent ("%.12g" under an
-        // LC_NUMERIC locale with a comma decimal separator would
-        // emit invalid JSON).
+        // std::to_chars is locale-independent ("%g" under an
+        // LC_NUMERIC locale with a comma decimal separator would emit
+        // invalid JSON).  No precision argument: shortest
+        // round-trippable form, so a parse of the emitted text
+        // recovers the bitwise-identical double — the service's
+        // resume proof compares classifications through this path.
         char buf[40];
         const auto res = std::to_chars(buf, buf + sizeof(buf), v,
-                                       std::chars_format::general, 12);
+                                       std::chars_format::general);
         panic_if(res.ec != std::errc(),
                  "JsonWriter: double formatting failed");
         os_.write(buf, res.ptr - buf);

@@ -214,7 +214,13 @@ Histogram::reset()
 Registry &
 Registry::instance()
 {
-    static Registry registry;
+    // Intentionally leaked: the registry is touched by pool workers
+    // and detached threads right up to process exit, so running its
+    // destructor from the atexit chain races any late increment
+    // (use-after-free on the instrument maps).  An immortal instance
+    // makes shutdown-order safe by construction; the OS reclaims the
+    // memory.
+    static Registry &registry = *new Registry();
     return registry;
 }
 

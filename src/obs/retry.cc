@@ -25,6 +25,7 @@ namespace {
 struct RetryMetrics {
     Counter &attempts;
     Counter &exhausted;
+    Counter &deadline_capped;
 
     static RetryMetrics &
     get()
@@ -36,6 +37,10 @@ struct RetryMetrics {
             Registry::instance().counter(
                 "retry.exhausted", "operations that failed every "
                                    "retry attempt"),
+            Registry::instance().counter(
+                "retry.deadline.capped",
+                "retry loops ended by the elapsed-time budget before "
+                "the attempt count ran out"),
         };
         return m;
     }
@@ -150,6 +155,49 @@ retryWithBackoff(const RetryPolicy &policy, const char *what,
                     std::chrono::duration<double, std::milli>(
                         sleep_ms));
             }
+            backoff_ms *= policy.multiplier;
+        }
+        if (op())
+            return true;
+    }
+    metrics.exhausted.inc();
+    warn("%s: still failing after %d attempt(s); degrading", what,
+         attempts);
+    return false;
+}
+
+bool
+retryWithBackoff(const RetryPolicy &policy, const char *what,
+                 std::chrono::steady_clock::time_point deadline,
+                 const std::function<bool()> &op)
+{
+    using fp_ms = std::chrono::duration<double, std::milli>;
+    RetryMetrics &metrics = RetryMetrics::get();
+    const int attempts = std::max(1, policy.max_attempts);
+    double backoff_ms = policy.base_backoff_ms;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            const double remaining_ms =
+                fp_ms(deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (remaining_ms <= 0.0) {
+                // The budget, not the attempt count, ended the loop.
+                metrics.deadline_capped.inc();
+                metrics.exhausted.inc();
+                warn("%s: still failing after %d attempt(s) and an "
+                     "exhausted deadline budget; degrading",
+                     what, attempt);
+                return false;
+            }
+            metrics.attempts.inc();
+            const double capped =
+                std::min(backoff_ms, policy.max_backoff_ms);
+            // Clip the sleep to the remaining budget so the loop
+            // wakes at the deadline, not past it.
+            const double sleep_ms = std::min(
+                capped * jitterFactor(policy.jitter), remaining_ms);
+            if (sleep_ms > 0.0)
+                std::this_thread::sleep_for(fp_ms(sleep_ms));
             backoff_ms *= policy.multiplier;
         }
         if (op())

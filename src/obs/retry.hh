@@ -18,6 +18,7 @@
 #ifndef GPUSCALE_OBS_RETRY_HH
 #define GPUSCALE_OBS_RETRY_HH
 
+#include <chrono>
 #include <functional>
 
 namespace gpuscale {
@@ -58,6 +59,25 @@ void setRetryPolicy(const RetryPolicy &policy);
  * @return true when some attempt succeeded.
  */
 bool retryWithBackoff(const RetryPolicy &policy, const char *what,
+                      const std::function<bool()> &op);
+
+/**
+ * Deadline-capped variant: the total elapsed budget binds as well as
+ * the attempt count.  The first attempt always runs (even with the
+ * deadline already past — a dead request still deserves one try so a
+ * healthy operation is never skipped outright); re-attempts run only
+ * while time remains, and each backoff sleep is clipped to the
+ * remaining budget so the loop can never overshoot the deadline by
+ * more than one op() call.  A loop ended by the clock rather than the
+ * attempt count counts retry.deadline.capped alongside
+ * retry.exhausted.
+ *
+ * The service uses this for request-scoped cache/journal/socket I/O:
+ * retries must never outlive the request deadline they serve
+ * (docs/service.md).
+ */
+bool retryWithBackoff(const RetryPolicy &policy, const char *what,
+                      std::chrono::steady_clock::time_point deadline,
                       const std::function<bool()> &op);
 
 } // namespace obs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Admission-control implementation.
+ */
+
+#include "admission.hh"
+
+#include "base/fault.hh"
+#include "obs/metrics.hh"
+
+namespace gpuscale {
+namespace service {
+
+namespace {
+
+/** Suggested backoff for a shed request. */
+constexpr double kRetryAfterMs = 25.0;
+
+/** Cached instrument references for the admission path. */
+struct AdmissionMetrics {
+    obs::Counter &admitted;
+    obs::Counter &shed;
+    obs::Gauge &inflight;
+
+    static AdmissionMetrics &
+    get()
+    {
+        static AdmissionMetrics m{
+            obs::Registry::instance().counter(
+                "service.admitted", "requests granted an admission "
+                                    "slot"),
+            obs::Registry::instance().counter(
+                "service.shed", "requests shed by admission control "
+                                "(bound, quota, or injected fault)"),
+            obs::Registry::instance().gauge(
+                "service.inflight",
+                "admitted requests not yet released"),
+        };
+        return m;
+    }
+};
+
+} // namespace
+
+AdmissionControl::AdmissionControl(size_t max_inflight,
+                                   size_t client_quota)
+    : max_inflight_(max_inflight), client_quota_(client_quota)
+{
+}
+
+AdmissionVerdict
+AdmissionControl::admit(const std::string &client)
+{
+    AdmissionMetrics &metrics = AdmissionMetrics::get();
+
+    // Injection site: a fired fault sheds exactly like a full bound,
+    // so fault plans can saturate the overload path at any load.  An
+    // Exception fault would escape into the connection loop's
+    // catch-all instead of modeling a shed, so the i/o flavor (plain
+    // `true` return) is the one the tests use.
+    bool forced_shed = false;
+    try {
+        forced_shed = faultPoint("service.admit");
+    } catch (const FaultInjectedError &) {
+        forced_shed = true;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t &client_inflight = per_client_[client];
+    if (forced_shed || inflight_ >= max_inflight_ ||
+        client_inflight >= client_quota_) {
+        metrics.shed.inc();
+        return AdmissionVerdict{false, kRetryAfterMs};
+    }
+    ++inflight_;
+    ++client_inflight;
+    metrics.admitted.inc();
+    metrics.inflight.set(static_cast<double>(inflight_));
+    return AdmissionVerdict{true, 0.0};
+}
+
+void
+AdmissionControl::release(const std::string &client)
+{
+    AdmissionMetrics &metrics = AdmissionMetrics::get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inflight_ > 0)
+        --inflight_;
+    auto it = per_client_.find(client);
+    if (it != per_client_.end()) {
+        if (it->second > 0)
+            --it->second;
+        if (it->second == 0)
+            per_client_.erase(it);
+    }
+    metrics.inflight.set(static_cast<double>(inflight_));
+}
+
+size_t
+AdmissionControl::inflight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_;
+}
+
+} // namespace service
+} // namespace gpuscale

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bounded admission control with per-client quotas.
+ *
+ * The service never queues unbounded work: each request must acquire
+ * an admission slot before any model evaluation happens, and admit()
+ * never blocks — when the global in-flight bound or the caller's
+ * per-client quota is full, the verdict is an immediate shed that the
+ * connection turns into a typed RETRY_AFTER frame.  Shedding instead
+ * of queueing is the whole point: under saturation a client sees a
+ * fast, well-formed "come back in N ms", never a hang
+ * (docs/service.md).
+ *
+ * The `service.admit` fault site lets GPUSCALE_FAULTS plans force
+ * sheds at a configured rate, so the saturation tests can drive the
+ * overload path deterministically on an otherwise idle machine.
+ */
+
+#ifndef GPUSCALE_SERVICE_ADMISSION_HH
+#define GPUSCALE_SERVICE_ADMISSION_HH
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gpuscale {
+namespace service {
+
+/** What admit() decided. */
+struct AdmissionVerdict {
+    bool admitted = false;
+    /** Suggested client backoff when shed. */
+    double retry_after_ms = 0.0;
+};
+
+class AdmissionControl
+{
+  public:
+    /**
+     * @param max_inflight global bound on admitted-but-unreleased
+     *        requests.
+     * @param client_quota per-client share of that bound.
+     */
+    AdmissionControl(size_t max_inflight, size_t client_quota);
+
+    /**
+     * Try to admit one request for `client`.  Never blocks; a full
+     * bound, an exhausted quota, or a fired `service.admit` fault
+     * sheds immediately.  An admitted request must be release()d
+     * exactly once.
+     */
+    AdmissionVerdict admit(const std::string &client);
+
+    /** Return an admitted request's slot. */
+    void release(const std::string &client);
+
+    /** Admitted-but-unreleased requests right now. */
+    size_t inflight() const;
+
+  private:
+    const size_t max_inflight_;
+    const size_t client_quota_;
+
+    // gpuscale-lint: allow(concurrency): admission is its own tiny
+    // critical section taken once per request on connection threads;
+    // the harness pool sits below the service layer and cannot
+    // arbitrate sockets.
+    mutable std::mutex mutex_;
+    size_t inflight_ = 0;            // guarded_by(mutex_)
+    std::map<std::string, size_t> per_client_; // guarded_by(mutex_)
+};
+
+} // namespace service
+} // namespace gpuscale
+
+#endif // GPUSCALE_SERVICE_ADMISSION_HH

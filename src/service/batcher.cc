@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Predict-batcher implementation.
+ */
+
+#include "batcher.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gpu/config_grid.hh"
+#include "gpu/kernel_desc.hh"
+#include "obs/metrics.hh"
+
+namespace gpuscale {
+namespace service {
+
+namespace {
+
+/** Cached instrument references for the batching path. */
+struct BatcherMetrics {
+    obs::Counter &batches;
+    obs::Counter &coalesced;
+    obs::Histogram &batch_size;
+
+    static BatcherMetrics &
+    get()
+    {
+        static BatcherMetrics m{
+            obs::Registry::instance().counter(
+                "service.predict.batches",
+                "batched grid evaluations run by the predict "
+                "coalescer"),
+            obs::Registry::instance().counter(
+                "service.predict.coalesced",
+                "predict requests answered from a shared batch "
+                "round"),
+            obs::Registry::instance().histogram(
+                "service.predict.batch.size",
+                "predict requests answered per batch round"),
+        };
+        return m;
+    }
+};
+
+/** Index of `v` in a sorted unique vector (present by construction). */
+template <typename T>
+size_t
+axisIndex(const std::vector<T> &axis, T v)
+{
+    return static_cast<size_t>(
+        std::lower_bound(axis.begin(), axis.end(), v) - axis.begin());
+}
+
+} // namespace
+
+/** One parked caller; lives on the caller's stack. */
+struct PredictBatcher::Job {
+    enum class State { Queued, Running, Done };
+    PredictRequest req;
+    PredictOutcome out;
+    State state = State::Queued;
+};
+
+PredictBatcher::PredictBatcher(const gpu::PerfModel &model,
+                               const gpu::GpuConfig &base)
+    : model_(model), base_(base)
+{
+    // gpuscale-lint: allow(concurrency): spawns the batch worker.
+    worker_ = std::thread([this]() { workerLoop(); });
+}
+
+PredictBatcher::~PredictBatcher()
+{
+    stop();
+}
+
+PredictOutcome
+PredictBatcher::predict(const PredictRequest &request)
+{
+    Job job;
+    job.req = request;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_) {
+            return PredictOutcome{false, 0.0, ErrorCode::ShuttingDown,
+                                  "service is draining"};
+        }
+        queue_.push_back(&job);
+        work_cv_.notify_one();
+
+        while (true) {
+            if (job.state == Job::State::Done)
+                return job.out;
+            if (job.state == Job::State::Queued) {
+                if (std::chrono::steady_clock::now() >=
+                    job.req.deadline) {
+                    // Still waiting for a round: withdraw.  Once the
+                    // worker owns the job (Running) it is too late to
+                    // leave — the evaluation is bounded, so waiting
+                    // it out is both safe and required (the worker
+                    // writes into our stack frame).
+                    queue_.erase(std::find(queue_.begin(),
+                                           queue_.end(), &job));
+                    return PredictOutcome{
+                        false, 0.0, ErrorCode::DeadlineExceeded,
+                        "deadline passed before a batch round"};
+                }
+                done_cv_.wait_until(lock, job.req.deadline);
+            } else {
+                done_cv_.wait(lock);
+            }
+        }
+    }
+}
+
+void
+PredictBatcher::runBatch(std::deque<Job *> &batch)
+{
+    BatcherMetrics &metrics = BatcherMetrics::get();
+
+    // Group by kernel; each group becomes one grid evaluation over
+    // the cross product of its distinct axis values.  Evaluating a
+    // superset of the asked points is fine: points are pure and the
+    // grids here are tiny (a handful of distinct values per axis).
+    std::map<const gpu::KernelDesc *, std::vector<Job *>> groups;
+    for (Job *job : batch)
+        groups[job->req.kernel].push_back(job);
+
+    for (auto &[kernel, jobs] : groups) {
+        gpu::ConfigGrid grid;
+        grid.base = base_;
+        for (const Job *job : jobs) {
+            grid.cu_values.push_back(job->req.num_cus);
+            grid.core_clks_mhz.push_back(job->req.core_clk_mhz);
+            grid.mem_clks_mhz.push_back(job->req.mem_clk_mhz);
+        }
+        auto uniq = [](auto &axis) {
+            std::sort(axis.begin(), axis.end());
+            axis.erase(std::unique(axis.begin(), axis.end()),
+                       axis.end());
+        };
+        uniq(grid.cu_values);
+        uniq(grid.core_clks_mhz);
+        uniq(grid.mem_clks_mhz);
+
+        try {
+            const std::vector<double> runtimes =
+                model_.evaluateGridRuntimes(*kernel, grid);
+            for (Job *job : jobs) {
+                const size_t flat = grid.flatten(
+                    axisIndex(grid.cu_values, job->req.num_cus),
+                    axisIndex(grid.core_clks_mhz,
+                              job->req.core_clk_mhz),
+                    axisIndex(grid.mem_clks_mhz,
+                              job->req.mem_clk_mhz));
+                job->out =
+                    PredictOutcome{true, runtimes[flat],
+                                   ErrorCode::Internal, std::string()};
+            }
+        } catch (const std::exception &e) {
+            for (Job *job : jobs) {
+                job->out = PredictOutcome{
+                    false, 0.0, ErrorCode::Internal,
+                    std::string("batched evaluation failed: ") +
+                        e.what()};
+            }
+        }
+    }
+
+    metrics.batches.inc(groups.size());
+    metrics.coalesced.inc(batch.size());
+    metrics.batch_size.record(static_cast<double>(batch.size()));
+}
+
+void
+PredictBatcher::workerLoop()
+{
+    while (true) {
+        std::deque<Job *> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this]() {
+                return stopping_ || !queue_.empty();
+            });
+            if (stopping_) {
+                // Fail whatever is still parked; new callers are
+                // rejected at predict() entry.
+                for (Job *job : queue_) {
+                    job->out = PredictOutcome{false, 0.0,
+                                              ErrorCode::ShuttingDown,
+                                              "service is draining"};
+                    job->state = Job::State::Done;
+                }
+                queue_.clear();
+                done_cv_.notify_all();
+                return;
+            }
+            batch.swap(queue_);
+            for (Job *job : batch)
+                job->state = Job::State::Running;
+        }
+
+        // Evaluate outside the lock so new requests can queue for the
+        // next round (and withdraw on deadline) meanwhile.
+        runBatch(batch);
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (Job *job : batch)
+                job->state = Job::State::Done;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void
+PredictBatcher::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    // Second call (stop() then the destructor) finds the thread
+    // already joined and does nothing.
+    if (worker_.joinable())
+        worker_.join();
+}
+
+} // namespace service
+} // namespace gpuscale

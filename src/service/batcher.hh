@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Predict-request batching: coalesce concurrent point predictions
+ * into one batched grid evaluation.
+ *
+ * A lone "predict runtime at (cu, core, mem)" call costs one
+ * PerfModel::evaluateGridRuntimes() on a 1x1x1 grid; N concurrent
+ * calls for the same kernel cost N such calls.  The batcher instead
+ * parks callers on a condition variable, and a single worker thread
+ * drains the whole queue per round: requests are grouped by kernel,
+ * each group's distinct axis values form one small ConfigGrid, and
+ * one batched evaluation answers every caller in the group.  Because
+ * the model is per-point pure (test_grid_differential proves bitwise
+ * identity across grid shapes), a coalesced answer is bitwise
+ * identical to the answer a private evaluation would have produced —
+ * batching is invisible to clients except in latency.
+ *
+ * Deadlines: a caller whose deadline passes while still queued removes
+ * itself and reports DeadlineExceeded; once its round is being
+ * evaluated it waits for the (bounded) evaluation to finish.  stop()
+ * fails queued callers with ShuttingDown and joins the worker.
+ */
+
+#ifndef GPUSCALE_SERVICE_BATCHER_HH
+#define GPUSCALE_SERVICE_BATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "gpu/perf_model.hh"
+#include "service/protocol.hh"
+
+namespace gpuscale {
+namespace service {
+
+/** One point prediction ask. */
+struct PredictRequest {
+    const gpu::KernelDesc *kernel = nullptr;
+    int num_cus = 0;
+    double core_clk_mhz = 0.0;
+    double mem_clk_mhz = 0.0;
+    std::chrono::steady_clock::time_point deadline;
+};
+
+/** What the caller gets back. */
+struct PredictOutcome {
+    bool ok = false;
+    double runtime_s = 0.0;
+    /** Meaningful only when !ok. */
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+};
+
+class PredictBatcher
+{
+  public:
+    /**
+     * @param model evaluated per round; must outlive the batcher.
+     * @param base fixed microarchitecture parameters every predicted
+     *        point inherits (the census grid's base).
+     */
+    PredictBatcher(const gpu::PerfModel &model,
+                   const gpu::GpuConfig &base);
+    ~PredictBatcher();
+
+    PredictBatcher(const PredictBatcher &) = delete;
+    PredictBatcher &operator=(const PredictBatcher &) = delete;
+
+    /**
+     * Block until the request is answered by a batch round, its
+     * deadline passes while queued, or the batcher stops.  Callers
+     * must pre-validate the request (non-null kernel, num_cus >= 1,
+     * positive clocks) — the batcher evaluates what it is given.
+     */
+    PredictOutcome predict(const PredictRequest &request);
+
+    /** Fail queued callers with ShuttingDown and join the worker. */
+    void stop();
+
+  private:
+    struct Job;
+
+    void workerLoop();
+    void runBatch(std::deque<Job *> &batch);
+
+    const gpu::PerfModel &model_;
+    const gpu::GpuConfig base_;
+
+    // gpuscale-lint: allow(concurrency): the batcher is a
+    // rendezvous — callers park while a worker evaluates — and the
+    // harness pool deliberately stays free for the evaluation itself.
+    std::mutex mutex_;
+    // gpuscale-lint: allow(concurrency): wakes the worker when
+    // requests arrive or stop() is called.
+    std::condition_variable work_cv_;
+    // gpuscale-lint: allow(concurrency): wakes parked callers when
+    // their round completes.
+    std::condition_variable done_cv_;
+    // gpuscale-lint: allow(concurrency): the single batch worker.
+    std::thread worker_;
+
+    std::deque<Job *> queue_; // guarded_by(mutex_)
+    bool stopping_ = false;   // guarded_by(mutex_)
+};
+
+} // namespace service
+} // namespace gpuscale
+
+#endif // GPUSCALE_SERVICE_BATCHER_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Client implementation.
+ */
+
+#include "client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "base/fault.hh"
+
+namespace gpuscale {
+namespace service {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+double
+remainingMs(steady_clock::time_point deadline)
+{
+    return std::chrono::duration<double, std::milli>(
+               deadline - steady_clock::now())
+        .count();
+}
+
+} // namespace
+
+Client::Client(std::string socket_path) : path_(std::move(socket_path))
+{
+}
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    rxbuf_.clear();
+}
+
+bool
+Client::connect(double timeout_ms)
+{
+    // Injection site: client-side plans (site prefix "client.*", so
+    // service-side "service.*" plans never fire here) can model a
+    // client that cannot reach the daemon.
+    try {
+        if (faultPoint("client.connect"))
+            return false;
+    } catch (const FaultInjectedError &) {
+        return false;
+    }
+
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path))
+        return false;
+    std::strncpy(addr.sun_path, path_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const auto deadline = steady_clock::now() +
+                          std::chrono::duration_cast<
+                              steady_clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  timeout_ms));
+    while (true) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            fd_ = fd;
+            return true;
+        }
+        ::close(fd);
+        if (remainingMs(deadline) <= 0.0)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+bool
+Client::call(const std::string &request_line, double timeout_ms,
+             std::string *response)
+{
+    // Injection site: models a dropped client call; typed server-side
+    // failures arrive as frames, this is the transport failing.
+    try {
+        if (faultPoint("client.call"))
+            return false;
+    } catch (const FaultInjectedError &) {
+        return false;
+    }
+    if (fd_ < 0)
+        return false;
+
+    const auto deadline = steady_clock::now() +
+                          std::chrono::duration_cast<
+                              steady_clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  timeout_ms));
+
+    std::string line = request_line;
+    if (line.empty() || line.back() != '\n')
+        line.push_back('\n');
+    size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::send(fd_, line.data() + off,
+                                 line.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+
+    char chunk[4096];
+    while (true) {
+        const size_t nl = rxbuf_.find('\n');
+        if (nl != std::string::npos) {
+            *response = rxbuf_.substr(0, nl);
+            rxbuf_.erase(0, nl + 1);
+            return true;
+        }
+        const double wait_ms = remainingMs(deadline);
+        if (wait_ms <= 0.0)
+            return false;
+        pollfd pfd{fd_, POLLIN, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(wait_ms) + 1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (ready == 0)
+            return false;
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        rxbuf_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace service
+} // namespace gpuscale

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal blocking client for the gpuscaled socket protocol.
+ *
+ * One request line in, one response line out, with a wall-clock
+ * timeout on every step — a client of a robust service must itself
+ * never hang.  Used by `gpuscaled call`, the integration tests, and
+ * the bench load generator; transport failures (refused connection,
+ * EOF, timeout) are reported as a false return, distinct from typed
+ * protocol errors which arrive as well-formed frames.
+ */
+
+#ifndef GPUSCALE_SERVICE_CLIENT_HH
+#define GPUSCALE_SERVICE_CLIENT_HH
+
+#include <string>
+
+namespace gpuscale {
+namespace service {
+
+class Client
+{
+  public:
+    explicit Client(std::string socket_path);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect, retrying (the daemon may still be binding) until the
+     * timeout elapses.
+     */
+    // gpuscale-lint: allow(fault-coverage): declaration only; the
+    // definition carries the client.connect fault probe.
+    bool connect(double timeout_ms = 1000.0);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close();
+
+    /**
+     * Send one request line (newline appended if missing) and wait
+     * for one response line.  On success *response holds the frame
+     * without its trailing newline.  Returns false on transport
+     * failure — disconnected, send/recv error, EOF before a full
+     * frame, or timeout.
+     */
+    bool call(const std::string &request_line, double timeout_ms,
+              std::string *response);
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    std::string rxbuf_;
+};
+
+} // namespace service
+} // namespace gpuscale
+
+#endif // GPUSCALE_SERVICE_CLIENT_HH

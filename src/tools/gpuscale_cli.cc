@@ -64,7 +64,8 @@
  * or checkpoint records lost; degradation.events in the metrics
  * snapshot counts them) — scripted drivers can tell a typo'd
  * subcommand from a malformed invocation from a lossy-but-complete
- * run.
+ * run.  Exit 5 is reserved for service startup failure and only
+ * emitted by the gpuscaled binary (docs/service.md).
  */
 
 #include <cstdio>
@@ -436,7 +437,10 @@ usage()
         "--metrics-interval)\n"
         "exit codes: 0 ok, 1 failure, 2 unknown command, "
         "3 bad arguments,\n"
-        "            4 ok but degraded (absorbed faults)\n");
+        "            4 ok but degraded (absorbed faults), "
+        "5 service startup\n"
+        "            failure (gpuscaled serve only; "
+        "docs/service.md)\n");
 }
 
 /** Write the metrics snapshot and print the table (--metrics). */

@@ -1,0 +1,52 @@
+// Fixture: service-plane socket I/O for the extended fault-coverage
+// rule.  The bare accept and the raw recv/send pair must be flagged;
+// the probed twin and the namespace-qualified wrapper call (the
+// wrapper, not the POSIX free function) must stay silent.
+
+#include <cstddef>
+
+#include "base/fault.hh"
+
+// Flagged: an accept loop with no probe in scope is a connection
+// path crash tests can never reach.
+int
+acceptOne(int listen_fd)
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    return fd;
+}
+
+// Flagged twice: raw recv and send with no probe in scope.
+bool
+echo(int fd)
+{
+    char buf[64];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0)
+        return false;
+    const ssize_t m = ::send(fd, buf, static_cast<size_t>(n), 0);
+    return m == n;
+}
+
+// Silent: the same calls inside a probed scope.
+bool
+echoProbed(int fd)
+{
+    if (faultPoint("service.conn.read"))
+        return false;
+    char buf[64];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0)
+        return false;
+    const ssize_t m = ::send(fd, buf, static_cast<size_t>(n), 0);
+    return m == n;
+}
+
+// Silent: a qualified connect is the wrapper, never the raw POSIX
+// free function.
+bool
+viaWrapper(int fd)
+{
+    const bool up = net::connect(fd);
+    return up;
+}

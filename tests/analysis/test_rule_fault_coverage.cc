@@ -32,6 +32,26 @@ TEST(RuleFaultCoverage, FlagsUnwrappedRename)
               std::string::npos);
 }
 
+TEST(RuleFaultCoverage, FlagsUnprobedSocketPlane)
+{
+    // The service extension: accept and the recv/send pair outside a
+    // probed scope are flagged; the probed twin and the
+    // namespace-qualified connect wrapper stay silent.
+    const auto repo = loadFixture("fault_coverage_socket_bad");
+    const auto report = runRule(*makeFaultCoverageRule(), repo);
+
+    EXPECT_EQ(findingCount(report, "fault-coverage"), 3u)
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "accept"))
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "recv"))
+        << report.render();
+    EXPECT_TRUE(anyMessageContains(report, "send"))
+        << report.render();
+    EXPECT_FALSE(anyMessageContains(report, "connect"))
+        << report.render();
+}
+
 TEST(RuleFaultCoverage, ProbedScopesEnvelopeFilesAndAllowsAreSilent)
 {
     // writer.cc covers its opens with faultPoint / retryWithBackoff

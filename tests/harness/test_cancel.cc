@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Cancellation tests: token semantics, cooperative cancellation of
+ * parallelFor (serial and pooled), and deadline-armed expiry.  The
+ * gpuscaled drain and per-request deadlines both ride this token, so
+ * a parallel region must stop promptly and surface CancelledError
+ * through the first-error-wins machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "harness/cancel.hh"
+#include "harness/parallel.hh"
+
+namespace gpuscale {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(CancelToken, FreshTokenIsNotExpired)
+{
+    harness::CancelToken token;
+    EXPECT_FALSE(token.expired());
+    EXPECT_FALSE(token.cancelledExplicitly());
+}
+
+TEST(CancelToken, CancelExpiresImmediately)
+{
+    harness::CancelToken token;
+    token.cancel();
+    EXPECT_TRUE(token.expired());
+    EXPECT_TRUE(token.cancelledExplicitly());
+}
+
+TEST(CancelToken, DeadlineInFutureIsNotExpired)
+{
+    harness::CancelToken token;
+    token.armDeadline(std::chrono::steady_clock::now() + 1h);
+    EXPECT_FALSE(token.expired());
+}
+
+TEST(CancelToken, PastDeadlineExpiresWithoutExplicitCancel)
+{
+    harness::CancelToken token;
+    token.armDeadline(std::chrono::steady_clock::now() - 1ms);
+    EXPECT_TRUE(token.expired());
+    EXPECT_FALSE(token.cancelledExplicitly());
+}
+
+TEST(CancelToken, BudgetArmsRelativeDeadline)
+{
+    harness::CancelToken token;
+    token.armBudgetMs(1e9);
+    EXPECT_FALSE(token.expired());
+
+    harness::CancelToken spent;
+    spent.armBudgetMs(0.0);
+    std::this_thread::sleep_for(1ms);
+    EXPECT_TRUE(spent.expired());
+}
+
+TEST(ParallelForCancel, NullTokenRunsEverything)
+{
+    std::atomic<size_t> ran{0};
+    harness::parallelFor(1000, [&](size_t) { ran.fetch_add(1); }, 0,
+                         nullptr);
+    EXPECT_EQ(ran.load(), 1000u);
+}
+
+TEST(ParallelForCancel, PreCancelledTokenThrowsBeforeWork)
+{
+    harness::CancelToken token;
+    token.cancel();
+    std::atomic<size_t> ran{0};
+    EXPECT_THROW(harness::parallelFor(
+                     1000, [&](size_t) { ran.fetch_add(1); }, 0,
+                     &token),
+                 harness::CancelledError);
+    // The serial path polls every 64 indices, the pool per chunk, so
+    // a pre-cancelled region runs at most one dispense unit.
+    EXPECT_LT(ran.load(), 1000u);
+}
+
+TEST(ParallelForCancel, MidFlightCancelStopsTheRegion)
+{
+    harness::CancelToken token;
+    std::atomic<size_t> ran{0};
+    // Index 0 sits in the first dispensed chunk; once it cancels, no
+    // further chunks are dispensed, so the region cannot finish.
+    const auto body = [&](size_t i) {
+        if (i == 0)
+            token.cancel();
+        ran.fetch_add(1);
+    };
+    EXPECT_THROW(harness::parallelFor(100000, body, 2, &token),
+                 harness::CancelledError);
+    EXPECT_GT(ran.load(), 0u);
+}
+
+TEST(ParallelForCancel, DeadlineExpiryCancelsSerialPath)
+{
+    harness::CancelToken token;
+    token.armDeadline(std::chrono::steady_clock::now() + 5ms);
+    std::atomic<size_t> ran{0};
+    // max_threads=1 forces the serial path and its every-64 poll.
+    EXPECT_THROW(harness::parallelFor(
+                     1u << 20,
+                     [&](size_t) {
+                         ran.fetch_add(1);
+                         std::this_thread::sleep_for(10us);
+                     },
+                     1, &token),
+                 harness::CancelledError);
+    EXPECT_LT(ran.load(), 1u << 20);
+}
+
+TEST(ParallelForCancel, BodyErrorStillWinsOverLaterCancel)
+{
+    // First-error-wins: a body exception thrown before the cancel is
+    // the error the caller sees, not CancelledError.
+    harness::CancelToken token;
+    EXPECT_THROW(harness::parallelFor(
+                     64,
+                     [&](size_t i) {
+                         if (i == 0)
+                             throw std::runtime_error("body first");
+                         std::this_thread::sleep_for(100us);
+                     },
+                     1, &token),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace gpuscale

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
 
 #include "obs/metrics.hh"
@@ -95,6 +96,53 @@ TEST(Retry, ExceptionsPropagateImmediately)
     // A throwing operation is a crash under test, not a transient:
     // exactly one call, no retry loop.
     EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, DeadlineOverloadSucceedsWithinBudget)
+{
+    const uint64_t capped0 = counterValue("retry.deadline.capped");
+
+    int calls = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    EXPECT_TRUE(obs::retryWithBackoff(fastPolicy(3), "test-op",
+                                      deadline,
+                                      [&] { return ++calls >= 2; }));
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(counterValue("retry.deadline.capped"), capped0);
+}
+
+TEST(Retry, DeadlineOverloadAlwaysRunsFirstAttempt)
+{
+    // An already-expired deadline still gets one try — the operation
+    // may succeed instantly, and a zero-attempt "failure" would be
+    // indistinguishable from a broken op.
+    int calls = 0;
+    const auto past = std::chrono::steady_clock::now() -
+                      std::chrono::seconds(1);
+    EXPECT_TRUE(obs::retryWithBackoff(fastPolicy(3), "test-op", past,
+                                      [&] { return ++calls > 0; }));
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, DeadlineCapsRetriesAndCounts)
+{
+    const uint64_t capped0 = counterValue("retry.deadline.capped");
+    const uint64_t exhausted0 = counterValue("retry.exhausted");
+
+    // A generous attempt budget but an expired clock: one attempt,
+    // then the deadline — not max_attempts — ends the loop.
+    int calls = 0;
+    const auto past = std::chrono::steady_clock::now() -
+                      std::chrono::seconds(1);
+    EXPECT_FALSE(obs::retryWithBackoff(fastPolicy(100), "test-op",
+                                       past, [&] {
+                                           ++calls;
+                                           return false;
+                                       }));
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(counterValue("retry.deadline.capped"), capped0 + 1);
+    EXPECT_EQ(counterValue("retry.exhausted"), exhausted0 + 1);
 }
 
 TEST(Retry, ProcessPolicyIsOverridable)

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Admission-control tests: the global bound, per-client quotas,
+ * release accounting, the never-blocks contract, and forced sheds
+ * through the `service.admit` fault site.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/fault.hh"
+#include "service/admission.hh"
+
+namespace gpuscale {
+namespace service {
+namespace {
+
+TEST(Admission, AdmitsUpToTheGlobalBound)
+{
+    AdmissionControl ctl(3, 3);
+    for (int i = 0; i < 3; ++i) {
+        const auto v = ctl.admit("a");
+        EXPECT_TRUE(v.admitted) << "request " << i;
+    }
+    EXPECT_EQ(ctl.inflight(), 3u);
+
+    const auto shed = ctl.admit("a");
+    EXPECT_FALSE(shed.admitted);
+    EXPECT_GT(shed.retry_after_ms, 0.0);
+    // A shed request takes no slot.
+    EXPECT_EQ(ctl.inflight(), 3u);
+}
+
+TEST(Admission, PerClientQuotaShedsBeforeTheGlobalBound)
+{
+    AdmissionControl ctl(8, 2);
+    EXPECT_TRUE(ctl.admit("greedy").admitted);
+    EXPECT_TRUE(ctl.admit("greedy").admitted);
+
+    // The greedy client is out of quota while the bound has room...
+    const auto shed = ctl.admit("greedy");
+    EXPECT_FALSE(shed.admitted);
+    EXPECT_GT(shed.retry_after_ms, 0.0);
+
+    // ...which another client can still use.
+    EXPECT_TRUE(ctl.admit("polite").admitted);
+    EXPECT_EQ(ctl.inflight(), 3u);
+}
+
+TEST(Admission, ReleaseReturnsSlotAndQuota)
+{
+    AdmissionControl ctl(2, 1);
+    EXPECT_TRUE(ctl.admit("a").admitted);
+    EXPECT_FALSE(ctl.admit("a").admitted);
+
+    ctl.release("a");
+    EXPECT_EQ(ctl.inflight(), 0u);
+    EXPECT_TRUE(ctl.admit("a").admitted);
+}
+
+TEST(Admission, AnonymousClientsShareOneQuotaBucket)
+{
+    AdmissionControl ctl(8, 2);
+    EXPECT_TRUE(ctl.admit("").admitted);
+    EXPECT_TRUE(ctl.admit("").admitted);
+    EXPECT_FALSE(ctl.admit("").admitted);
+}
+
+TEST(Admission, FaultSiteForcesShedsDeterministically)
+{
+    // A rate-1.0 io fault on service.admit must shed every request
+    // even with the bound wide open — the saturation test's lever.
+    FaultInjector::instance().arm(
+        {{"service.admit", 1.0, FaultKind::IoError, 0.0}}, 0);
+    AdmissionControl ctl(64, 64);
+    const auto v = ctl.admit("a");
+    EXPECT_FALSE(v.admitted);
+    EXPECT_GT(v.retry_after_ms, 0.0);
+    EXPECT_EQ(ctl.inflight(), 0u);
+    FaultInjector::instance().disarm();
+
+    EXPECT_TRUE(ctl.admit("a").admitted);
+}
+
+TEST(Admission, ExceptionFaultIsAbsorbedAsShed)
+{
+    // A throw-kind fault at the admit probe must not escape into the
+    // connection loop; it degrades to a typed shed.
+    FaultInjector::instance().arm(
+        {{"service.admit", 1.0, FaultKind::Exception, 0.0}}, 0);
+    AdmissionControl ctl(64, 64);
+    AdmissionVerdict v;
+    EXPECT_NO_THROW(v = ctl.admit("a"));
+    EXPECT_FALSE(v.admitted);
+    FaultInjector::instance().disarm();
+}
+
+} // namespace
+} // namespace service
+} // namespace gpuscale
